@@ -1,0 +1,52 @@
+#pragma once
+
+// Shared helpers for the figure-regeneration bench binaries.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "metrics/experiment.hpp"
+
+namespace ndc::benchutil {
+
+struct Args {
+  workloads::Scale scale = workloads::Scale::kSmall;
+  std::string only;  ///< run a single benchmark when non-empty
+};
+
+inline Args Parse(int argc, char** argv, workloads::Scale default_scale) {
+  Args a;
+  a.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale=test") == 0) a.scale = workloads::Scale::kTest;
+    if (std::strcmp(argv[i], "--scale=small") == 0) a.scale = workloads::Scale::kSmall;
+    if (std::strcmp(argv[i], "--scale=full") == 0) a.scale = workloads::Scale::kFull;
+    if (std::strncmp(argv[i], "--bench=", 8) == 0) a.only = argv[i] + 8;
+  }
+  return a;
+}
+
+inline const char* ScaleName(workloads::Scale s) {
+  switch (s) {
+    case workloads::Scale::kTest: return "test";
+    case workloads::Scale::kSmall: return "small";
+    case workloads::Scale::kFull: return "full";
+  }
+  return "?";
+}
+
+template <typename Fn>
+void ForEachBenchmark(const Args& a, Fn&& fn) {
+  for (const std::string& name : workloads::BenchmarkNames()) {
+    if (!a.only.empty() && name != a.only) continue;
+    fn(name);
+  }
+}
+
+inline void PrintHeader(const char* what, const Args& a) {
+  std::printf("# %s  (scale=%s, Table-1 configuration)\n", what, ScaleName(a.scale));
+}
+
+}  // namespace ndc::benchutil

@@ -1,0 +1,52 @@
+// Diagnostic: decompose Algorithm 1's benefit into (a) code restructuring
+// only (pre-computes ignored at run time) and (b) full NDC execution, and
+// compare oracle acceptance counts. Development aid.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "compiler/codegen.hpp"
+#include "metrics/experiment.hpp"
+
+using namespace ndc;
+
+int main(int argc, char** argv) {
+  std::string name = argc > 1 ? argv[1] : "md";
+  workloads::Scale scale = workloads::Scale::kSmall;
+  arch::ArchConfig cfg;
+
+  metrics::Experiment exp(name, scale, cfg);
+  sim::Cycle base = exp.Baseline().makespan;
+  std::printf("%s baseline: %llu cycles\n", name.c_str(), (unsigned long long)base);
+
+  // Compile once with Algorithm 1.
+  ir::Program prog = workloads::BuildWorkload(name, scale, 1);
+  compiler::ArchDescription ad(cfg);
+  compiler::CompileOptions copt;
+  copt.mode = compiler::Mode::kAlgorithm1;
+  compiler::CompileReport rep = compiler::Compile(prog, ad, copt);
+  auto traces = compiler::Lower(prog, cfg.num_nodes(), &cfg).traces;
+  std::printf("compile: chains=%llu planned=%llu transforms=%llu\n",
+              (unsigned long long)rep.chains, (unsigned long long)rep.planned,
+              (unsigned long long)rep.transforms);
+
+  for (bool honor : {false, true}) {
+    runtime::MachineOptions mo;
+    mo.honor_precompute = honor;
+    runtime::Machine m(cfg, mo);
+    m.LoadProgram(traces);
+    runtime::RunResult r = m.Run();
+    std::printf("  %-22s: %8llu cycles (%+.1f%%) ndc=%llu fb=%llu l1miss=%.1f%%\n",
+                honor ? "restructured + NDC" : "restructured only",
+                (unsigned long long)r.makespan, metrics::ImprovementPct(base, r.makespan),
+                (unsigned long long)r.ndc_success, (unsigned long long)r.fallbacks,
+                r.L1MissRate() * 100);
+  }
+  metrics::SchemeResult orc = exp.Run(metrics::Scheme::kOracle);
+  std::printf("  %-22s: %8llu cycles (%+.1f%%) ndc=%llu fb=%llu\n", "oracle",
+              (unsigned long long)orc.run.makespan, orc.improvement_pct,
+              (unsigned long long)orc.run.ndc_success,
+              (unsigned long long)orc.run.fallbacks);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Diagnostic: dump per-benchmark observation statistics — candidate counts,
+// feasibility, arrival windows, breakevens, and potential per-location
+// savings — plus the compiler reports. Not a paper figure; a development
+// and debugging aid.
+//
+// Usage: diag_observation [--scale=test|small] [--bench=NAME]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "metrics/experiment.hpp"
+#include "ndc/record.hpp"
+#include "sim/stats.hpp"
+
+using namespace ndc;
+
+int main(int argc, char** argv) {
+  workloads::Scale scale = workloads::Scale::kTest;
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale=small") == 0) scale = workloads::Scale::kSmall;
+    if (std::strncmp(argv[i], "--bench=", 8) == 0) only = argv[i] + 8;
+  }
+  arch::ArchConfig cfg;
+  noc::Mesh mesh(cfg.mesh_width, cfg.mesh_height);
+
+  std::printf("%-10s %8s %7s %7s | %22s | %22s | %12s %12s\n", "bench", "cands", "localL1",
+              "withNDC", "feasible% (net/L2/MC/MB)", "win<=brk% (same order)", "avg_save",
+              "alg1(plan/chains)");
+  for (const std::string& name : workloads::BenchmarkNames()) {
+    if (!only.empty() && name != only) continue;
+    metrics::Experiment exp(name, scale, cfg);
+    const auto& obs = exp.Observe();
+    std::uint64_t cands = 0, local = 0;
+    std::array<std::uint64_t, 4> feasible{}, winnable{};
+    double save_sum = 0;
+    std::uint64_t save_n = 0;
+    obs.records->ForEach([&](const runtime::InstanceRecord& rec) {
+      ++cands;
+      if (rec.local_l1) {
+        ++local;
+        return;
+      }
+      for (arch::Loc loc : runtime::kTrialOrder) {
+        const runtime::LocObs& o = rec.at(loc);
+        if (!o.feasible) continue;
+        ++feasible[static_cast<std::size_t>(loc)];
+        sim::Cycle w = o.Window();
+        if (w == sim::kNeverCycle) continue;
+        sim::Cycle ret = runtime::ResultReturnLatency(mesh, cfg.noc, o.node, rec.core);
+        sim::Cycle brk = runtime::BreakevenPoint(rec, loc, 1, ret);
+        if (w <= brk && brk > 0) {
+          ++winnable[static_cast<std::size_t>(loc)];
+          sim::Cycle ndc_done = o.SecondArrival() + 1 + ret;
+          if (rec.conv_done != sim::kNeverCycle && ndc_done < rec.conv_done) {
+            save_sum += static_cast<double>(rec.conv_done - ndc_done);
+            ++save_n;
+          }
+        }
+      }
+    });
+    metrics::SchemeResult a1 = exp.Run(metrics::Scheme::kAlgorithm1);
+    auto pct = [&](std::uint64_t v) {
+      return cands == local ? 0.0
+                            : 100.0 * static_cast<double>(v) / static_cast<double>(cands - local);
+    };
+    std::printf("%-10s %8llu %6.1f%% %7llu | %4.0f/%4.0f/%4.0f/%4.0f%% | %4.0f/%4.0f/%4.0f/%4.0f%% | %10.1f | %llu/%llu ndc=%llu fb=%llu %+5.1f%%\n",
+                name.c_str(), static_cast<unsigned long long>(cands),
+                cands ? 100.0 * static_cast<double>(local) / static_cast<double>(cands) : 0.0,
+                static_cast<unsigned long long>(save_n), pct(feasible[0]), pct(feasible[1]),
+                pct(feasible[2]), pct(feasible[3]), pct(winnable[0]), pct(winnable[1]),
+                pct(winnable[2]), pct(winnable[3]), save_n ? save_sum / static_cast<double>(save_n) : 0.0,
+                static_cast<unsigned long long>(a1.compile_report.planned),
+                static_cast<unsigned long long>(a1.compile_report.chains),
+                static_cast<unsigned long long>(a1.run.ndc_success),
+                static_cast<unsigned long long>(a1.run.fallbacks), a1.improvement_pct);
+  }
+  return 0;
+}

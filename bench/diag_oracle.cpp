@@ -1,0 +1,97 @@
+// Diagnostic: why does the oracle accept/reject candidates on a benchmark?
+// Dumps decision statistics from the profile and the live-run outcome.
+//
+// Usage: diag_oracle [NAME] [--scale=small]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "metrics/experiment.hpp"
+#include "ndc/record.hpp"
+
+using namespace ndc;
+
+int main(int argc, char** argv) {
+  std::string name = argc > 1 && argv[1][0] != '-' ? argv[1] : "md";
+  workloads::Scale scale = workloads::Scale::kTest;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale=small") == 0) scale = workloads::Scale::kSmall;
+  }
+  arch::ArchConfig cfg;
+  noc::Mesh mesh(cfg.mesh_width, cfg.mesh_height);
+  metrics::Experiment exp(name, scale, cfg);
+  const auto& obs = exp.Observe();
+
+  std::uint64_t total = 0, local = 0, reused = 0, no_loc_win = 0, window_never = 0,
+                accept = 0;
+  double total_saving = 0;
+  std::array<std::uint64_t, 4> accept_loc{};
+  obs.records->ForEach([&](const runtime::InstanceRecord& rec) {
+    ++total;
+    if (rec.local_l1) {
+      ++local;
+      return;
+    }
+    if (rec.operand_reused_later) {
+      ++reused;
+      return;
+    }
+    sim::Cycle best = 0;
+    int best_loc = -1;
+    bool any_window = false;
+    for (arch::Loc loc : runtime::kTrialOrder) {
+      const runtime::LocObs& o = rec.at(loc);
+      if (!o.feasible) continue;
+      sim::Cycle w = o.Window();
+      if (w == sim::kNeverCycle) continue;
+      any_window = true;
+      sim::Cycle ret = runtime::ResultReturnLatency(mesh, cfg.noc, o.node, rec.core);
+      sim::Cycle brk = runtime::BreakevenPoint(rec, loc, 1, ret);
+      if (w > brk) continue;
+      sim::Cycle ndc_done = o.SecondArrival() + 1 + ret;
+      if (rec.conv_done != sim::kNeverCycle && ndc_done + 8 < rec.conv_done) {
+        sim::Cycle saving = rec.conv_done - ndc_done;
+        if (saving > best) {
+          best = saving;
+          best_loc = static_cast<int>(loc);
+        }
+      }
+    }
+    if (!any_window) {
+      ++window_never;
+      return;
+    }
+    if (best_loc < 0) {
+      ++no_loc_win;
+      return;
+    }
+    ++accept;
+    total_saving += static_cast<double>(best);
+    ++accept_loc[static_cast<std::size_t>(best_loc)];
+  });
+
+  std::printf("%s: candidates=%llu local=%llu reuse-gated=%llu window-never=%llu "
+              "no-win=%llu accept=%llu avg_save=%.1f\n",
+              name.c_str(), (unsigned long long)total, (unsigned long long)local,
+              (unsigned long long)reused, (unsigned long long)window_never,
+              (unsigned long long)no_loc_win, (unsigned long long)accept,
+              accept ? total_saving / static_cast<double>(accept) : 0.0);
+  std::printf("accepted at: net=%llu cache=%llu mc=%llu mem=%llu\n",
+              (unsigned long long)accept_loc[0], (unsigned long long)accept_loc[1],
+              (unsigned long long)accept_loc[2], (unsigned long long)accept_loc[3]);
+
+  metrics::SchemeResult orc = exp.Run(metrics::Scheme::kOracle);
+  std::printf("oracle live: improvement=%+.2f%% offloads=%llu ndc=%llu fallbacks=%llu\n",
+              orc.improvement_pct, (unsigned long long)orc.run.offloads,
+              (unsigned long long)orc.run.ndc_success, (unsigned long long)orc.run.fallbacks);
+  std::printf("  aborts: timeout=%llu partner_done=%llu service_full=%llu plan_infeasible=%llu\n",
+              (unsigned long long)orc.run.stats.Get("ndc.abort.timeout"),
+              (unsigned long long)orc.run.stats.Get("ndc.abort.partner_done"),
+              (unsigned long long)orc.run.stats.Get("ndc.service_table_full"),
+              (unsigned long long)orc.run.stats.Get("ndc.plan_infeasible"));
+  std::printf("  baseline=%llu oracle=%llu cycles\n",
+              (unsigned long long)exp.Baseline().makespan,
+              (unsigned long long)orc.run.makespan);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Substrate micro-benchmarks (google-benchmark): event queue, caches, NoC
+// routing / signature selection, DRAM controller, and a whole-machine run.
+// These guard against performance regressions in the simulator itself.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/config.hpp"
+#include "arch/trace.hpp"
+#include "mem/cache.hpp"
+#include "mem/memctrl.hpp"
+#include "ndc/machine.hpp"
+#include "noc/routing.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+using namespace ndc;
+
+static void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue eq;
+    long count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      eq.ScheduleAt(static_cast<sim::Cycle>(i * 7 % 997), [&count] { ++count; });
+    }
+    eq.RunUntilEmpty();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+static void BM_CacheAccess(benchmark::State& state) {
+  mem::Cache cache(mem::CacheParams{32 * 1024, 64, 2, 2});
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    sim::Addr a = rng.NextBelow(1 << 20);
+    if (!cache.Access(a)) cache.Fill(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+static void BM_XyRoute(benchmark::State& state) {
+  noc::Mesh mesh(5, 5);
+  sim::Rng rng(13);
+  for (auto _ : state) {
+    auto s = static_cast<sim::NodeId>(rng.NextBelow(25));
+    auto d = static_cast<sim::NodeId>(rng.NextBelow(25));
+    benchmark::DoNotOptimize(noc::XyRoute(mesh, s, d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XyRoute);
+
+static void BM_MaxOverlapRoutes(benchmark::State& state) {
+  noc::Mesh mesh(5, 5);
+  sim::Rng rng(17);
+  for (auto _ : state) {
+    auto a = static_cast<sim::NodeId>(rng.NextBelow(25));
+    auto b = static_cast<sim::NodeId>(rng.NextBelow(25));
+    auto c = static_cast<sim::NodeId>(rng.NextBelow(25));
+    auto d = static_cast<sim::NodeId>(rng.NextBelow(25));
+    benchmark::DoNotOptimize(noc::MaxOverlapRoutes(mesh, a, b, c, d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MaxOverlapRoutes);
+
+static void BM_MemCtrlFrFcfs(benchmark::State& state) {
+  mem::AddressMap amap;
+  mem::DramParams dram;
+  for (auto _ : state) {
+    sim::EventQueue eq;
+    mem::MemCtrl mc(0, amap, dram, eq);
+    for (int i = 0; i < 64; ++i) {
+      mc.EnqueueRead(static_cast<std::uint64_t>(i),
+                     static_cast<sim::Addr>(i) * 4096 + (i % 3) * 64,
+                     [](std::uint64_t, sim::Cycle) {});
+    }
+    eq.RunUntilEmpty();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MemCtrlFrFcfs);
+
+static void BM_MachineRun(benchmark::State& state) {
+  for (auto _ : state) {
+    arch::ArchConfig cfg;
+    runtime::Machine m(cfg);
+    std::vector<arch::Trace> traces(25);
+    for (int c = 0; c < 25; ++c) {
+      arch::Trace t;
+      for (int i = 0; i < 50; ++i) {
+        int l0 = static_cast<int>(t.size());
+        t.push_back(arch::MakeLoad(static_cast<sim::Addr>(c) * 65536 + i * 640));
+        t.push_back(arch::MakeLoad(static_cast<sim::Addr>(c) * 65536 + i * 640 + 6400));
+        t.push_back(arch::MakeCompute(arch::Op::kAdd, l0, l0 + 1, true));
+      }
+      traces[static_cast<std::size_t>(c)] = std::move(t);
+    }
+    m.LoadProgram(std::move(traces));
+    benchmark::DoNotOptimize(m.Run().makespan);
+  }
+}
+BENCHMARK(BM_MachineRun)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

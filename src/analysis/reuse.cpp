@@ -1,0 +1,105 @@
+#include "analysis/reuse.hpp"
+
+#include <cmath>
+
+#include "analysis/dependence.hpp"
+
+namespace ndc::analysis {
+
+ReuseInfo AnalyzeReuse(const ir::Program& prog, const ir::LoopNest& nest,
+                       const ir::Operand& op, std::uint64_t line_bytes) {
+  ReuseInfo info;
+  if (op.kind != ir::Operand::Kind::kAffine) return info;
+  int depth = nest.depth();
+  const ir::AffineAccess& acc = op.access;
+
+  // Self-temporal: nontrivial kernel of F.
+  ir::IntVec k;
+  if (SmallestKernelVector(acc.F, depth, &k)) {
+    info.self_temporal = true;
+    info.reuse_vector = k;
+    info.has_vector = true;
+  }
+
+  // Self-spatial: the innermost loop advances only the last subscript with a
+  // stride smaller than the line.
+  const ir::Array& arr = prog.array(acc.array);
+  int inner = depth - 1;
+  bool touches_only_last = true;
+  for (int d = 0; d + 1 < acc.F.rows(); ++d) {
+    if (acc.F.at(d, inner) != 0) touches_only_last = false;
+  }
+  ir::Int stride = acc.F.rows() > 0 ? acc.F.at(acc.F.rows() - 1, inner) : 0;
+  if (touches_only_last && stride != 0 &&
+      static_cast<std::uint64_t>(std::llabs(stride)) * static_cast<std::uint64_t>(arr.elem_bytes) <
+          line_bytes) {
+    info.self_spatial = true;
+    if (!info.has_vector) {
+      ir::IntVec e(static_cast<std::size_t>(depth), 0);
+      e[static_cast<std::size_t>(inner)] = 1;
+      info.reuse_vector = e;
+      info.has_vector = true;
+    }
+  }
+
+  // Group reuse: another reference with the same F, different offset.
+  for (const ir::Stmt& s : nest.body) {
+    for (const ir::Operand* o : {&s.lhs, &s.rhs0, &s.rhs1}) {
+      if (o == &op || o->kind != ir::Operand::Kind::kAffine) continue;
+      if (o->access.array != acc.array) continue;
+      if (!(o->access.F == acc.F)) continue;
+      ir::IntVec rhs = ir::VecSub(acc.f, o->access.f);
+      if (ir::IsZero(rhs)) {
+        info.group = true;
+        continue;
+      }
+      ir::IntVec d;
+      if (SolveUniformDistance(acc.F, AvgTrips(nest), rhs, &d) && !ir::IsZero(d)) {
+        info.group = true;
+        ir::IntVec pos = ir::LexPositive(d) ? d : ir::VecSub(ir::IntVec(d.size(), 0), d);
+        if (!info.has_vector || ir::LexCompare(pos, info.reuse_vector) < 0) {
+          info.reuse_vector = pos;
+          info.has_vector = true;
+        }
+      }
+    }
+  }
+  return info;
+}
+
+int CountFutureReuses(const ir::Program& prog, const ir::LoopNest& nest, const ir::Stmt& stmt,
+                      const ir::Operand& op, int limit) {
+  (void)prog;
+  if (op.kind != ir::Operand::Kind::kAffine) return 0;  // statically unknowable
+  int depth = nest.depth();
+  const ir::AffineAccess& acc = op.access;
+  int count = 0;
+
+  // Self-temporal reuse: the same reference touches this element again at a
+  // strictly later iteration.
+  ir::IntVec k;
+  if (SmallestKernelVector(acc.F, depth, &k)) ++count;
+
+  // Group reuse by any other reference p: acc(I) == p(I + d) for d lex > 0,
+  // or d == 0 with p textually after the computation.
+  bool past_stmt = false;
+  for (const ir::Stmt& s : nest.body) {
+    bool is_self = s.id == stmt.id;
+    for (const ir::Operand* o : {&s.rhs0, &s.rhs1, &s.lhs}) {
+      if (count >= limit) return count;
+      if (o->kind != ir::Operand::Kind::kAffine) continue;
+      if (o->access.array != acc.array) continue;
+      if (is_self && o == &op) continue;
+      if (!(o->access.F == acc.F)) continue;
+      // acc(I) = o(I + d)  =>  F d = acc.f - o.f
+      ir::IntVec rhs = ir::VecSub(acc.f, o->access.f);
+      ir::IntVec d;
+      if (!SolveUniformDistance(acc.F, AvgTrips(nest), rhs, &d)) continue;
+      if (ir::LexPositive(d) || (ir::IsZero(d) && past_stmt && !is_self)) ++count;
+    }
+    if (is_self) past_stmt = true;
+  }
+  return count;
+}
+
+}  // namespace ndc::analysis

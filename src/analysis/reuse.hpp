@@ -1,0 +1,31 @@
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace ndc::analysis {
+
+/// Data-reuse analysis used by Algorithm 2's NDC/locality gating and by the
+/// CME estimator.
+
+/// Kinds of reuse a reference can carry.
+struct ReuseInfo {
+  bool self_temporal = false;  ///< same element re-accessed by this ref
+  bool self_spatial = false;   ///< neighbouring element on the same line
+  bool group = false;          ///< another reference touches the same element
+  ir::IntVec reuse_vector;     ///< smallest lex-positive reuse distance (if any)
+  bool has_vector = false;
+};
+
+/// Reuse carried by one memory operand within its nest.
+ReuseInfo AnalyzeReuse(const ir::Program& prog, const ir::LoopNest& nest,
+                       const ir::Operand& op, std::uint64_t line_bytes);
+
+/// Number of *future* reuses of `op`'s element beyond the current iteration
+/// (capped at `limit`): the check of Algorithm 2 line 5 — does there exist
+/// an iteration I_m, I_c < I_m <= I_e, and a reference p with
+/// f(I) = p(I_m)? Indirect operands return 0 (statically unknowable, which
+/// is the source of Algorithm 2's occasional wrong calls in Section 5.4).
+int CountFutureReuses(const ir::Program& prog, const ir::LoopNest& nest, const ir::Stmt& stmt,
+                      const ir::Operand& op, int limit = 4);
+
+}  // namespace ndc::analysis

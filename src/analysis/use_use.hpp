@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ndc::analysis {
+
+/// A use-use chain (Algorithm 1, line 36): a computation z = x op y whose
+/// two operands are memory references — the candidate unit for NDC
+/// offloading.
+struct UseUseChain {
+  int stmt_idx = 0;  ///< index into the nest's body
+};
+
+inline std::vector<UseUseChain> ExtractUseUseChains(const ir::LoopNest& nest) {
+  std::vector<UseUseChain> out;
+  for (int s = 0; s < static_cast<int>(nest.body.size()); ++s) {
+    const ir::Stmt& st = nest.body[static_cast<std::size_t>(s)];
+    if (st.rhs0.IsMemory() && st.rhs1.IsMemory()) out.push_back({s});
+  }
+  return out;
+}
+
+}  // namespace ndc::analysis

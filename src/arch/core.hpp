@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "arch/memory_port.hpp"
+#include "arch/trace.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace ndc::arch {
+
+/// A two-issue out-of-order core model: instructions *dispatch* in program
+/// order at `issue_width` per cycle, but execute dataflow-style — a compute
+/// completes when its operands do, without blocking the dispatch of later
+/// independent instructions (approximating the paper's two-issue OoO SPARC).
+/// Memory-level parallelism is bounded by `max_outstanding_loads` in-flight
+/// loads. Memory operations are delegated to a MemoryPort (the machine),
+/// which signals completion via Complete().
+class Core {
+ public:
+  Core(sim::NodeId id, const ArchConfig& cfg, sim::EventQueue& eq, MemoryPort& port);
+
+  sim::NodeId id() const { return id_; }
+
+  /// Installs the trace and resets execution state.
+  void SetTrace(Trace trace);
+
+  const Trace& trace() const { return trace_; }
+
+  /// Begins execution (schedules the first dispatch event).
+  void Start();
+
+  /// Marks slot `idx` as externally completed: the core will not
+  /// self-complete it (used for Computes that the machine offloaded to an
+  /// NDC location at run time).
+  void MarkExternal(std::uint32_t idx);
+
+  /// Signals that slot `idx`'s result is available at cycle `when`
+  /// (must be >= now). Safe to call before the slot has dispatched.
+  void Complete(std::uint32_t idx, sim::Cycle when);
+
+  bool finished() const { return completed_ == trace_.size(); }
+  sim::Cycle finish_cycle() const { return finish_cycle_; }
+  sim::Cycle done_cycle(std::uint32_t idx) const { return done_[idx]; }
+  bool issued(std::uint32_t idx) const { return idx < next_; }
+
+  sim::StatSet& stats() { return stats_; }
+
+ private:
+  void TryDispatch();
+  /// Called once all deps of a dispatched, dep-waiting slot are complete.
+  void ResolveWaiter(std::uint32_t idx);
+  /// Dispatch-time handling once the slot's turn comes.
+  void DispatchSlot(std::uint32_t idx);
+  bool DepsDone(const Instr& in, sim::Cycle* ready_at) const;
+  void ScheduleRetry(sim::Cycle at);
+
+  sim::NodeId id_;
+  const ArchConfig* cfg_;
+  sim::EventQueue& eq_;
+  MemoryPort& port_;
+
+  Trace trace_;
+  std::vector<sim::Cycle> done_;
+  std::vector<bool> external_;
+  std::vector<bool> complete_flag_;
+  std::vector<bool> dispatched_;
+  std::vector<std::vector<std::uint32_t>> dependents_;  // dep idx -> waiters
+  std::uint32_t next_ = 0;  // next trace slot to dispatch (in order)
+  std::size_t completed_ = 0;
+  int outstanding_loads_ = 0;
+  sim::Cycle last_issue_cycle_ = sim::kNeverCycle;
+  int issued_this_cycle_ = 0;
+  sim::Cycle finish_cycle_ = 0;
+  bool retry_scheduled_ = false;
+  sim::Cycle retry_cycle_ = 0;
+  sim::StatSet stats_;
+};
+
+}  // namespace ndc::arch

@@ -1,0 +1,109 @@
+#pragma once
+
+#include "arch/config.hpp"
+#include "mem/address_map.hpp"
+#include "noc/geometry.hpp"
+#include "noc/routing.hpp"
+#include "sim/types.hpp"
+
+namespace ndc::compiler {
+
+/// The architecture description fed to the compiler (Figure 7): hardware
+/// parameters plus closed-form latency estimates used by the cost model
+/// that sizes access movements (Δ) and breakeven-based time-outs.
+class ArchDescription {
+ public:
+  explicit ArchDescription(const arch::ArchConfig& cfg)
+      : cfg_(cfg), mesh_(cfg.mesh_width, cfg.mesh_height), amap_(cfg.MakeAddressMap()),
+        mc_nodes_(cfg.McNodes()) {}
+
+  const arch::ArchConfig& cfg() const { return cfg_; }
+  const noc::Mesh& mesh() const { return mesh_; }
+  const mem::AddressMap& amap() const { return amap_; }
+
+  sim::NodeId McNode(sim::Addr addr) const {
+    return mc_nodes_[static_cast<std::size_t>(amap_.Mc(addr))];
+  }
+
+  /// Average issue cycles per instruction assumed by the cost model.
+  double cpi() const { return 0.75; }
+
+  /// Uncontended one-way latency of a `bytes`-sized message over `hops`.
+  sim::Cycle HopLatency(int hops, int bytes) const {
+    sim::Cycle ser = static_cast<sim::Cycle>((bytes + cfg_.noc.link_bytes - 1) / cfg_.noc.link_bytes);
+    return static_cast<sim::Cycle>(hops) * (cfg_.noc.router_pipeline + ser);
+  }
+
+  /// Average DRAM access latency (between row hit and row miss).
+  sim::Cycle DramAvg() const {
+    return (cfg_.dram.row_hit_latency + cfg_.dram.row_miss_latency) / 2;
+  }
+
+  /// Estimated cycles from load issue until the data is present at `loc`
+  /// for an access from `core` to `addr`, given the CME's L2 hit/miss
+  /// prediction. Returns kNeverCycle when the data never visits `loc`
+  /// (e.g. a memory-queue target for a predicted L2 hit).
+  sim::Cycle EstDataAtLoc(sim::NodeId core, sim::Addr addr, arch::Loc loc, bool l2_miss) const {
+    sim::NodeId home = amap_.HomeBank(addr);
+    sim::Cycle t = cfg_.l1.access_latency;                  // L1 probe
+    t += HopLatency(mesh_.Distance(core, home), 8);         // request to home
+    switch (loc) {
+      case arch::Loc::kCacheCtrl:
+        t += cfg_.l2.access_latency;
+        if (l2_miss) {
+          t += HopLatency(mesh_.Distance(home, McNode(addr)), 8) + DramAvg() +
+               HopLatency(mesh_.Distance(McNode(addr), home), 256);
+        }
+        return t;
+      case arch::Loc::kMemCtrl:
+      case arch::Loc::kMemBank:
+        if (!l2_miss) return sim::kNeverCycle;
+        return t + cfg_.l2.access_latency +
+               HopLatency(mesh_.Distance(home, McNode(addr)), 8) + DramAvg();
+      case arch::Loc::kLinkBuffer: {
+        // Data enters the response network right after the L2 bank (or the
+        // MC on a miss); meeting links sit on the way back to the core.
+        sim::Cycle at_l2 = t + cfg_.l2.access_latency;
+        if (l2_miss) {
+          at_l2 += HopLatency(mesh_.Distance(home, McNode(addr)), 8) + DramAvg() +
+                   HopLatency(mesh_.Distance(McNode(addr), home), 256);
+        }
+        // Half-way along the response path on average.
+        return at_l2 + HopLatency(mesh_.Distance(home, core) / 2, 64);
+      }
+    }
+    return sim::kNeverCycle;
+  }
+
+  /// Estimated cycles until the data reaches the core (conventional path).
+  sim::Cycle EstDataAtCore(sim::NodeId core, sim::Addr addr, bool l1_miss, bool l2_miss) const {
+    if (!l1_miss) return cfg_.l1.access_latency;
+    sim::Cycle t = EstDataAtLoc(core, addr, arch::Loc::kCacheCtrl, l2_miss);
+    sim::NodeId home = amap_.HomeBank(addr);
+    return t + HopLatency(mesh_.Distance(home, core), 64);
+  }
+
+  /// Node hosting `loc` for an address (meeting-point placement).
+  sim::NodeId LocNode(sim::Addr addr, arch::Loc loc, sim::NodeId core) const {
+    switch (loc) {
+      case arch::Loc::kCacheCtrl: return amap_.HomeBank(addr);
+      case arch::Loc::kMemCtrl:
+      case arch::Loc::kMemBank: return McNode(addr);
+      case arch::Loc::kLinkBuffer: {
+        // Approximate meeting router: midpoint of the home->core path.
+        noc::Route r = noc::XyRoute(mesh_, amap_.HomeBank(addr), core);
+        if (r.empty()) return core;
+        return mesh_.LinkSource(r[r.size() / 2]);
+      }
+    }
+    return core;
+  }
+
+ private:
+  arch::ArchConfig cfg_;
+  noc::Mesh mesh_;
+  mem::AddressMap amap_;
+  std::vector<sim::NodeId> mc_nodes_;
+};
+
+}  // namespace ndc::compiler

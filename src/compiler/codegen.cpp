@@ -1,0 +1,233 @@
+#include "compiler/codegen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "analysis/cme.hpp"
+
+namespace ndc::compiler {
+namespace {
+
+// Emission phases give the within-slot program order: a statement's index
+// loads precede its operand loads, then the computation, then the store.
+enum Phase : int {
+  kIdx0 = 0,
+  kLoad0 = 1,
+  kIdx1 = 2,
+  kLoad1 = 3,
+  kComputeP = 4,
+  kIdxStore = 5,
+  kStoreP = 6,
+};
+
+struct Emission {
+  ir::Int slot = 0;   // position in the core's iteration sequence
+  int stmt = 0;       // body index
+  Phase phase = kLoad0;
+  ir::Int j = 0;      // index of the computation's iteration in the core list
+
+  bool operator<(const Emission& o) const {
+    if (slot != o.slot) return slot < o.slot;
+    if (j != o.j) return j < o.j;
+    if (stmt != o.stmt) return stmt < o.stmt;
+    return phase < o.phase;
+  }
+};
+
+// Key for remembering where a load was emitted (for dependences).
+struct LoadKey {
+  int stmt;
+  ir::Int j;
+  int which;  // 0/1 = operand, 2 = store-index
+  bool operator<(const LoadKey& o) const {
+    if (stmt != o.stmt) return stmt < o.stmt;
+    if (j != o.j) return j < o.j;
+    return which < o.which;
+  }
+};
+
+}  // namespace
+
+int CoreForIteration(const ir::LoopNest& nest, const ir::IntVec& iter, int num_cores) {
+  const ir::Loop& outer = nest.loops.front();
+  ir::Int span = outer.hi - outer.lo + 1;
+  ir::Int chunk = (span + num_cores - 1) / num_cores;
+  ir::Int v = iter[0] - outer.lo;
+  return static_cast<int>(std::min<ir::Int>(v / std::max<ir::Int>(1, chunk), num_cores - 1));
+}
+
+CodegenResult Lower(const ir::Program& prog, int num_cores, const arch::ArchConfig* cfg) {
+  CodegenResult out;
+  out.traces.assign(static_cast<std::size_t>(num_cores), {});
+
+  std::set<int> warm_arrays;
+  for (const ir::LoopNest& nest : prog.nests) {
+    // Per-iteration CME gate for NDC-annotated statements: the pre-compute
+    // is emitted only where both operands are predicted to miss the L1
+    // (the paper's compiler "first checks whether x in S1 and y in S2
+    // result in L1 misses"); other instances execute conventionally.
+    std::unique_ptr<analysis::CmePredictor> cme;
+    for (const ir::Stmt& st : nest.body) {
+      if (st.ndc.offload) {
+        analysis::CacheSpec l1 = cfg ? analysis::CacheSpec::From(cfg->l1) : analysis::CacheSpec{};
+        analysis::CacheSpec l2 = cfg ? analysis::CacheSpec::From(cfg->l2)
+                                     : analysis::CacheSpec{512 * 1024, 256, 64};
+        cme = std::make_unique<analysis::CmePredictor>(prog, nest, l1, l2, num_cores, warm_arrays);
+        break;
+      }
+    }
+
+    // Partition iterations by core, preserving original order.
+    std::vector<std::vector<ir::IntVec>> per_core(static_cast<std::size_t>(num_cores));
+    nest.ForEachIteration([&](const ir::IntVec& iter) {
+      per_core[static_cast<std::size_t>(CoreForIteration(nest, iter, num_cores))].push_back(iter);
+    });
+
+    for (int core = 0; core < num_cores; ++core) {
+      std::vector<ir::IntVec>& iters = per_core[static_cast<std::size_t>(core)];
+      if (iters.empty()) continue;
+      if (nest.transform.has_value()) {
+        const ir::IntMat& T = *nest.transform;
+        std::stable_sort(iters.begin(), iters.end(),
+                         [&](const ir::IntVec& a, const ir::IntVec& b) {
+                           return ir::LexCompare(T.Apply(a), T.Apply(b)) < 0;
+                         });
+      }
+      auto m = static_cast<ir::Int>(iters.size());
+      auto clamp_slot = [m](ir::Int s) { return std::clamp<ir::Int>(s, 0, m - 1); };
+
+      std::vector<Emission> emissions;
+      emissions.reserve(static_cast<std::size_t>(m) * nest.body.size() * 4);
+      for (int s = 0; s < static_cast<int>(nest.body.size()); ++s) {
+        const ir::Stmt& st = nest.body[static_cast<std::size_t>(s)];
+        ir::Int lead0 = st.ndc.offload ? st.ndc.lead0 : 0;
+        ir::Int lead1 = st.ndc.offload ? st.ndc.lead1 : 0;
+        for (ir::Int j = 0; j < m; ++j) {
+          ir::Int slot0 = clamp_slot(j - lead0);
+          ir::Int slot1 = clamp_slot(j - lead1);
+          ir::Int slotc = std::max(slot0, slot1);
+          if (st.rhs0.IsMemory()) {
+            if (st.rhs0.kind == ir::Operand::Kind::kIndirect) {
+              emissions.push_back({slot0, s, kIdx0, j});
+            }
+            emissions.push_back({slot0, s, kLoad0, j});
+          }
+          if (st.rhs1.IsMemory()) {
+            if (st.rhs1.kind == ir::Operand::Kind::kIndirect) {
+              emissions.push_back({slot1, s, kIdx1, j});
+            }
+            emissions.push_back({slot1, s, kLoad1, j});
+          }
+          emissions.push_back({slotc, s, kComputeP, j});
+          if (st.lhs.IsMemory()) {
+            if (st.lhs.kind == ir::Operand::Kind::kIndirect) {
+              emissions.push_back({slotc, s, kIdxStore, j});
+            }
+            emissions.push_back({slotc, s, kStoreP, j});
+          }
+        }
+      }
+      std::stable_sort(emissions.begin(), emissions.end());
+
+      arch::Trace& trace = out.traces[static_cast<std::size_t>(core)];
+      std::map<LoadKey, std::int32_t> load_at;
+      std::map<LoadKey, std::int32_t> compute_at;
+
+      auto emit_operand_load = [&](const ir::Stmt& st, const ir::Operand& op, ir::Int j,
+                                   int which, Phase idx_phase) {
+        (void)idx_phase;
+        const ir::IntVec& iter = iters[static_cast<std::size_t>(j)];
+        auto addr = prog.ResolveAddr(op, iter);
+        if (!addr.has_value()) return;
+        std::int32_t dep = -1;
+        if (op.kind == ir::Operand::Kind::kIndirect) {
+          // Emit the index-array load first; the data load depends on it.
+          const ir::Array& idx_arr = prog.array(op.access.array);
+          ir::IntVec sub = op.access.Subscript(iter);
+          bool ok = true;
+          for (std::size_t d = 0; d < sub.size(); ++d) {
+            ok &= sub[d] >= 0 && sub[d] < idx_arr.dims[d];
+          }
+          if (ok) {
+            arch::Instr il = arch::MakeLoad(idx_arr.AddrOf(sub));
+            il.pc = st.id * 16 + static_cast<std::uint32_t>(which) * 2;
+            dep = static_cast<std::int32_t>(trace.size());
+            trace.push_back(il);
+          }
+        }
+        arch::Instr ld = arch::MakeLoad(*addr, dep);
+        ld.pc = st.id * 16 + static_cast<std::uint32_t>(which) * 2 + 1;
+        load_at[{static_cast<int>(&st - nest.body.data()), j, which}] =
+            static_cast<std::int32_t>(trace.size());
+        trace.push_back(ld);
+      };
+
+      for (const Emission& e : emissions) {
+        const ir::Stmt& st = nest.body[static_cast<std::size_t>(e.stmt)];
+        const ir::IntVec& iter = iters[static_cast<std::size_t>(e.j)];
+        switch (e.phase) {
+          case kIdx0:
+          case kIdx1:
+          case kIdxStore:
+            break;  // folded into the load/store emission below
+          case kLoad0:
+            emit_operand_load(st, st.rhs0, e.j, 0, kIdx0);
+            break;
+          case kLoad1:
+            emit_operand_load(st, st.rhs1, e.j, 1, kIdx1);
+            break;
+          case kComputeP: {
+            auto find_load = [&](int which) -> std::int32_t {
+              auto it = load_at.find({e.stmt, e.j, which});
+              return it == load_at.end() ? -1 : it->second;
+            };
+            std::int32_t l0 = st.rhs0.IsMemory() ? find_load(0) : -1;
+            std::int32_t l1 = st.rhs1.IsMemory() ? find_load(1) : -1;
+            arch::Instr ci;
+            bool both_mem = l0 >= 0 && l1 >= 0;
+            bool offload_here = st.ndc.offload && both_mem;
+            if (offload_here && cme != nullptr) {
+              offload_here =
+                  cme->PredictMissL1(e.stmt, analysis::OperandSel::kRhs0, iter) &&
+                  cme->PredictMissL1(e.stmt, analysis::OperandSel::kRhs1, iter);
+            }
+            if (offload_here) {
+              ci = arch::MakePreCompute(st.op, l0, l1, st.ndc.planned, st.ndc.timeout,
+                                        st.id * 16 + kComputeP, st.id);
+              ++out.precomputes;
+            } else {
+              ci = arch::MakeCompute(st.op, l0, l1, both_mem, st.id * 16 + kComputeP, st.id);
+            }
+            compute_at[{e.stmt, e.j, 0}] = static_cast<std::int32_t>(trace.size());
+            trace.push_back(ci);
+            break;
+          }
+          case kStoreP: {
+            auto addr = prog.ResolveAddr(st.lhs, iter);
+            if (!addr.has_value()) break;
+            auto it = compute_at.find({e.stmt, e.j, 0});
+            std::int32_t dep = it == compute_at.end() ? -1 : it->second;
+            arch::Instr si = arch::MakeStore(*addr, dep);
+            si.pc = st.id * 16 + kStoreP;
+            trace.push_back(si);
+            break;
+          }
+        }
+      }
+    }
+    for (const ir::Stmt& st : nest.body) {
+      for (const ir::Operand* o : {&st.rhs0, &st.rhs1, &st.lhs}) {
+        if (!o->IsMemory()) continue;
+        warm_arrays.insert(o->kind == ir::Operand::Kind::kIndirect ? o->target_array
+                                                                   : o->access.array);
+      }
+    }
+  }
+  for (const arch::Trace& t : out.traces) out.total_instrs += t.size();
+  return out;
+}
+
+}  // namespace ndc::compiler

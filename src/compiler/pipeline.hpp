@@ -1,0 +1,61 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "compiler/arch_desc.hpp"
+#include "ir/program.hpp"
+
+namespace ndc::compiler {
+
+/// Which NDC pass to run after parallelization/locality (Figure 7).
+enum class Mode {
+  kBaseline,    ///< no NDC annotations (original program)
+  kAlgorithm1,  ///< computation restructuring (Section 5.2)
+  kAlgorithm2,  ///< reuse-aware restructuring (Section 5.3)
+  kCoarseGrain, ///< whole-nest mapping ablation (Section 5.4, last paragraph)
+};
+
+inline const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kBaseline: return "baseline";
+    case Mode::kAlgorithm1: return "algorithm-1";
+    case Mode::kAlgorithm2: return "algorithm-2";
+    case Mode::kCoarseGrain: return "coarse-grain";
+  }
+  return "?";
+}
+
+struct CompileOptions {
+  Mode mode = Mode::kAlgorithm1;
+  int reuse_k = 0;           ///< Algorithm 2's k (paper default: 0)
+  bool allow_reroute = true; ///< NoC signature co-selection (Section 5.2.1)
+  std::uint8_t control_register = arch::kAllLocs;  ///< target NDC locations
+  double feasibility_threshold = 0.5;  ///< min fraction of iterations feasible
+  double miss_gate = 0.5;              ///< min CME miss probability to offload
+  ir::Int max_lead = 64;               ///< cap on access movement (iterations)
+  int samples_per_chain = 32;          ///< iteration samples for the cost model
+};
+
+/// What the compiler did (for reports, tests, and Figure 15).
+struct CompileReport {
+  std::uint64_t chains = 0;            ///< use-use chains examined
+  std::uint64_t planned = 0;           ///< chains annotated for NDC
+  std::uint64_t reuse_skips = 0;       ///< chains skipped by Algorithm 2's gate
+  std::uint64_t legality_failures = 0; ///< movements rejected by dependences
+  std::uint64_t gating_failures = 0;   ///< rejected by CME / feasibility
+  std::uint64_t transforms = 0;        ///< nests given a schedule transform
+  std::array<std::uint64_t, arch::kNumLocs> planned_at_loc{};
+
+  double PlannedFraction() const {
+    return chains == 0 ? 0.0 : static_cast<double>(planned) / static_cast<double>(chains);
+  }
+};
+
+/// Runs the selected NDC pass over the program in place (annotating
+/// statements and possibly attaching schedule transforms), mirroring
+/// Algorithm 1 / Algorithm 2 of the paper.
+CompileReport Compile(ir::Program& prog, const ArchDescription& ad, const CompileOptions& opt);
+
+}  // namespace ndc::compiler

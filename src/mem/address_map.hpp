@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace ndc::mem {
+
+/// Static NUCA / memory-channel address mapping (Section 2):
+/// - each cache line has a fixed home L2 bank (line-interleaved across nodes)
+/// - each 4 KB page has a fixed memory controller (page-interleaved, Table 1)
+/// - within a controller, rows interleave across DRAM banks.
+struct AddressMap {
+  std::uint64_t l2_line_bytes = 256;      ///< L2 line size (Table 1)
+  int num_nodes = 25;                     ///< L2 banks == nodes
+  std::uint64_t mc_interleave_bytes = 4096;  ///< page-size interleave
+  int num_mcs = 4;
+  std::uint64_t row_bytes = 4096;         ///< DRAM row-buffer size
+  int banks_per_mc = 16;                  ///< 4 banks/device x 4 devices
+
+  /// Home L2 bank (node id) of the line containing `addr`.
+  sim::NodeId HomeBank(sim::Addr addr) const {
+    return static_cast<sim::NodeId>((addr / l2_line_bytes) % static_cast<std::uint64_t>(num_nodes));
+  }
+
+  /// Memory controller owning `addr`.
+  sim::McId Mc(sim::Addr addr) const {
+    return static_cast<sim::McId>((addr / mc_interleave_bytes) % static_cast<std::uint64_t>(num_mcs));
+  }
+
+  /// DRAM bank index within the owning controller.
+  int DramBank(sim::Addr addr) const {
+    return static_cast<int>((addr / (mc_interleave_bytes * static_cast<std::uint64_t>(num_mcs))) %
+                            static_cast<std::uint64_t>(banks_per_mc));
+  }
+
+  /// DRAM row within the bank.
+  std::uint64_t DramRow(sim::Addr addr) const {
+    std::uint64_t chunk = addr / (mc_interleave_bytes * static_cast<std::uint64_t>(num_mcs));
+    return chunk / static_cast<std::uint64_t>(banks_per_mc);
+  }
+};
+
+}  // namespace ndc::mem

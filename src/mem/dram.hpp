@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace ndc::mem {
+
+/// DRAM timing in core cycles, approximating the Table 1 device
+/// (Micron DDR2-800, 4 banks/device, 16384 rows/bank, 4 KB row buffer).
+struct DramParams {
+  sim::Cycle row_hit_latency = 40;    ///< CAS only (open row)
+  sim::Cycle row_miss_latency = 120;  ///< precharge + activate + CAS
+  sim::Cycle data_beat = 4;           ///< per-request data transfer occupancy
+  std::uint64_t num_rows = 16384;
+};
+
+/// One DRAM bank with an open-row (row-buffer) policy. Requests are serviced
+/// serially; `busy_until` models the bank occupancy.
+class DramBank {
+ public:
+  explicit DramBank(const DramParams& params) : params_(&params) {}
+
+  /// True if `row` currently sits in the row buffer (an FR-FCFS "row hit").
+  bool IsRowOpen(std::uint64_t row) const { return open_row_ == static_cast<std::int64_t>(row); }
+
+  sim::Cycle busy_until() const { return busy_until_; }
+
+  /// Services a read/write of `row` starting no earlier than `now`;
+  /// returns the completion cycle and updates bank state.
+  sim::Cycle Access(sim::Cycle now, std::uint64_t row);
+
+  std::uint64_t row_hits() const { return row_hits_; }
+  std::uint64_t row_misses() const { return row_misses_; }
+
+  void Reset();
+
+ private:
+  const DramParams* params_;
+  std::int64_t open_row_ = -1;
+  sim::Cycle busy_until_ = 0;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+};
+
+}  // namespace ndc::mem

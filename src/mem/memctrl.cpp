@@ -1,0 +1,106 @@
+#include "mem/memctrl.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ndc::mem {
+
+MemCtrl::MemCtrl(sim::McId id, const AddressMap& amap, const DramParams& dram_params,
+                 sim::EventQueue& eq)
+    : id_(id), amap_(&amap), eq_(eq) {
+  banks_.reserve(static_cast<std::size_t>(amap.banks_per_mc));
+  for (int i = 0; i < amap.banks_per_mc; ++i) banks_.emplace_back(dram_params);
+  bank_in_flight_.assign(banks_.size(), false);
+}
+
+void MemCtrl::EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done) {
+  Request r;
+  r.tag = tag;
+  r.addr = addr;
+  r.bank = amap_->DramBank(addr);
+  r.row = amap_->DramRow(addr);
+  r.is_write = false;
+  r.enqueued_at = eq_.now();
+  r.done = std::move(done);
+  stats_.Add("mc.reads");
+  if (on_enqueue_) on_enqueue_(tag, addr, eq_.now());
+  queue_.push_back(std::move(r));
+  TrySchedule();
+}
+
+void MemCtrl::EnqueueWrite(sim::Addr addr) {
+  Request r;
+  r.addr = addr;
+  r.bank = amap_->DramBank(addr);
+  r.row = amap_->DramRow(addr);
+  r.is_write = true;
+  r.enqueued_at = eq_.now();
+  stats_.Add("mc.writes");
+  queue_.push_back(std::move(r));
+  TrySchedule();
+}
+
+bool MemCtrl::HasPendingAddr(sim::Addr addr) const {
+  for (const Request& r : queue_) {
+    if (r.addr == addr) return true;
+  }
+  return std::find(in_service_addrs_.begin(), in_service_addrs_.end(), addr) !=
+         in_service_addrs_.end();
+}
+
+void MemCtrl::TrySchedule() {
+  // For each idle bank, pick per FR-FCFS: oldest row-hit request for that
+  // bank, else the oldest request for that bank.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+      if (bank_in_flight_[b]) continue;
+      std::ptrdiff_t pick = -1;
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(queue_.size()); ++i) {
+        const Request& r = queue_[static_cast<std::size_t>(i)];
+        if (r.bank != static_cast<int>(b)) continue;
+        if (banks_[b].IsRowOpen(r.row)) {
+          pick = i;  // first (oldest) row hit wins
+          break;
+        }
+        if (pick < 0) pick = i;  // remember oldest as fallback
+      }
+      if (pick < 0) continue;
+      Request req = std::move(queue_[static_cast<std::size_t>(pick)]);
+      queue_.erase(queue_.begin() + pick);
+      IssueTo(static_cast<int>(b), std::move(req));
+      progressed = true;
+    }
+  }
+}
+
+void MemCtrl::IssueTo(int bank_idx, Request req) {
+  auto b = static_cast<std::size_t>(bank_idx);
+  bank_in_flight_[b] = true;
+  bool row_hit = banks_[b].IsRowOpen(req.row);
+  stats_.Add(row_hit ? "mc.row_hits" : "mc.row_misses");
+  sim::Cycle done_at = banks_[b].Access(eq_.now(), req.row);
+  stats_.Add("mc.queue_wait_cycles", eq_.now() - req.enqueued_at);
+  in_service_addrs_.push_back(req.addr);
+  eq_.ScheduleAt(done_at, [this, b, req = std::move(req)]() {
+    auto it = std::find(in_service_addrs_.begin(), in_service_addrs_.end(), req.addr);
+    if (it != in_service_addrs_.end()) in_service_addrs_.erase(it);
+    bank_in_flight_[b] = false;
+    if (!req.is_write) {
+      if (on_ready_) on_ready_(req.tag, req.addr, eq_.now());
+      if (req.done) req.done(req.tag, eq_.now());
+    }
+    TrySchedule();
+  });
+}
+
+void MemCtrl::Reset() {
+  for (DramBank& b : banks_) b.Reset();
+  std::fill(bank_in_flight_.begin(), bank_in_flight_.end(), false);
+  queue_.clear();
+  in_service_addrs_.clear();
+  stats_.Clear();
+}
+
+}  // namespace ndc::mem

@@ -1,0 +1,159 @@
+#include "metrics/experiment.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "compiler/codegen.hpp"
+
+namespace ndc::metrics {
+
+const char* SchemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kBaseline: return "Baseline";
+    case Scheme::kDefault: return "Default";
+    case Scheme::kOracle: return "Oracle";
+    case Scheme::kWait5: return "Wait(5%)";
+    case Scheme::kWait10: return "Wait(10%)";
+    case Scheme::kWait25: return "Wait(25%)";
+    case Scheme::kWait50: return "Wait(50%)";
+    case Scheme::kLastWait: return "LastWait";
+    case Scheme::kMarkov: return "Markov";
+    case Scheme::kAlgorithm1: return "Algorithm-1";
+    case Scheme::kAlgorithm2: return "Algorithm-2";
+  }
+  return "?";
+}
+
+double ImprovementPct(sim::Cycle base, sim::Cycle t) {
+  if (base == 0) return 0.0;
+  return (static_cast<double>(base) - static_cast<double>(t)) / static_cast<double>(base) *
+         100.0;
+}
+
+Experiment::Experiment(std::string workload, workloads::Scale scale, arch::ArchConfig cfg,
+                       std::uint64_t seed)
+    : workload_(std::move(workload)), scale_(scale), cfg_(cfg), seed_(seed) {
+  base_program_ = workloads::BuildWorkload(workload_, scale_, seed_);
+}
+
+const std::vector<arch::Trace>& Experiment::BaselineTraces() {
+  if (base_traces_.empty()) {
+    base_traces_ = compiler::Lower(base_program_, cfg_.num_nodes(), &cfg_).traces;
+  }
+  return base_traces_;
+}
+
+runtime::RunResult Experiment::RunTraces(const std::vector<arch::Trace>& traces,
+                                         runtime::MachineOptions opts) {
+  runtime::Machine m(cfg_, opts);
+  m.LoadProgram(traces);
+  return m.Run();
+}
+
+const runtime::RunResult& Experiment::Baseline() {
+  if (!have_baseline_) {
+    baseline_ = RunTraces(BaselineTraces(), {});
+    have_baseline_ = true;
+  }
+  return baseline_;
+}
+
+const runtime::RunResult& Experiment::Observe() {
+  if (!have_observe_) {
+    runtime::MachineOptions opts;
+    opts.observe = true;
+    observe_ = RunTraces(BaselineTraces(), opts);
+    have_observe_ = true;
+  }
+  return observe_;
+}
+
+SchemeResult Experiment::Run(Scheme scheme) {
+  SchemeResult out;
+  out.scheme = scheme;
+  const runtime::RunResult& base = Baseline();
+
+  switch (scheme) {
+    case Scheme::kBaseline:
+      out.run = base;
+      out.improvement_pct = 0.0;
+      return out;
+    case Scheme::kAlgorithm1: {
+      compiler::CompileOptions opt;
+      opt.mode = compiler::Mode::kAlgorithm1;
+      return RunCompiled(opt);
+    }
+    case Scheme::kAlgorithm2: {
+      compiler::CompileOptions opt;
+      opt.mode = compiler::Mode::kAlgorithm2;
+      return RunCompiled(opt);
+    }
+    default:
+      break;
+  }
+
+  std::unique_ptr<runtime::Policy> policy;
+  switch (scheme) {
+    case Scheme::kDefault:
+      policy = std::make_unique<runtime::AlwaysWaitPolicy>(cfg_);
+      break;
+    case Scheme::kOracle:
+      policy = std::make_unique<runtime::OraclePolicy>(cfg_, *Observe().records);
+      break;
+    case Scheme::kWait5:
+      policy = std::make_unique<runtime::FractionWaitPolicy>(cfg_, *Observe().records, 0.05);
+      break;
+    case Scheme::kWait10:
+      policy = std::make_unique<runtime::FractionWaitPolicy>(cfg_, *Observe().records, 0.10);
+      break;
+    case Scheme::kWait25:
+      policy = std::make_unique<runtime::FractionWaitPolicy>(cfg_, *Observe().records, 0.25);
+      break;
+    case Scheme::kWait50:
+      policy = std::make_unique<runtime::FractionWaitPolicy>(cfg_, *Observe().records, 0.50);
+      break;
+    case Scheme::kLastWait:
+      policy = std::make_unique<runtime::LastWaitPolicy>(cfg_);
+      break;
+    case Scheme::kMarkov:
+      policy = std::make_unique<runtime::MarkovWaitPolicy>(cfg_);
+      break;
+    default:
+      break;
+  }
+  runtime::MachineOptions opts;
+  opts.policy = policy.get();
+  out.run = RunTraces(BaselineTraces(), opts);
+  out.improvement_pct = ImprovementPct(base.makespan, out.run.makespan);
+  return out;
+}
+
+SchemeResult Experiment::RunCompiled(compiler::CompileOptions opt) {
+  SchemeResult out;
+  out.scheme = opt.mode == compiler::Mode::kAlgorithm2 ? Scheme::kAlgorithm2
+                                                       : Scheme::kAlgorithm1;
+  const runtime::RunResult& base = Baseline();
+  ir::Program prog = workloads::BuildWorkload(workload_, scale_, seed_);
+  arch::ArchConfig cfg = cfg_;
+  cfg.allow_reroute = opt.allow_reroute;
+  cfg.control_register = opt.control_register;
+  compiler::ArchDescription ad(cfg);
+  out.compile_report = compiler::Compile(prog, ad, opt);
+  std::vector<arch::Trace> traces = compiler::Lower(prog, cfg.num_nodes(), &cfg).traces;
+  runtime::Machine m(cfg, {});
+  m.LoadProgram(traces);
+  out.run = m.Run();
+  out.improvement_pct = ImprovementPct(base.makespan, out.run.makespan);
+  return out;
+}
+
+std::string FormatRow(const std::vector<std::string>& cells, int width) {
+  std::ostringstream os;
+  for (const std::string& c : cells) {
+    os << "| " << std::setw(width) << c << " ";
+  }
+  os << "|";
+  return os.str();
+}
+
+}  // namespace ndc::metrics

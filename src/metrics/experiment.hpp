@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.hpp"
+#include "ndc/machine.hpp"
+#include "ndc/policy.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ndc::metrics {
+
+/// The hardware-side NDC schemes of Figure 4 (plus the compiler modes).
+enum class Scheme {
+  kBaseline,   ///< conventional execution (the normalization base)
+  kDefault,    ///< offload always, wait until the partner arrives
+  kOracle,     ///< profile-guided optimal decisions (Section 4.4)
+  kWait5,      ///< wait at most 5% of the arrival window
+  kWait10,
+  kWait25,
+  kWait50,
+  kLastWait,   ///< last-value arrival-window predictor
+  kMarkov,     ///< Markov-chain arrival-window predictor (Section 4.4 text)
+  kAlgorithm1, ///< compiler scheme 1 (Section 5.2)
+  kAlgorithm2, ///< compiler scheme 2 (Section 5.3)
+};
+
+const char* SchemeName(Scheme s);
+
+/// Everything measured for one (workload, scheme) run.
+struct SchemeResult {
+  Scheme scheme = Scheme::kBaseline;
+  runtime::RunResult run;
+  double improvement_pct = 0.0;  ///< vs baseline makespan (positive = faster)
+  compiler::CompileReport compile_report;  ///< compiler modes only
+};
+
+/// A workload prepared for experiments: baseline + observation runs are
+/// cached so that multiple schemes can reuse the profile.
+class Experiment {
+ public:
+  Experiment(std::string workload, workloads::Scale scale, arch::ArchConfig cfg,
+             std::uint64_t seed = 1);
+
+  const std::string& workload() const { return workload_; }
+  const arch::ArchConfig& cfg() const { return cfg_; }
+
+  /// Baseline (conventional) run; cached.
+  const runtime::RunResult& Baseline();
+
+  /// Observation run over the original program (Section 4 quantification);
+  /// cached. Timing-identical to the baseline.
+  const runtime::RunResult& Observe();
+
+  /// Runs one scheme and reports improvement vs the baseline.
+  SchemeResult Run(Scheme scheme);
+
+  /// Compiles with `opt` and runs the transformed program.
+  SchemeResult RunCompiled(compiler::CompileOptions opt);
+
+  /// The traces of the original program (baseline schedule).
+  const std::vector<arch::Trace>& BaselineTraces();
+
+ private:
+  runtime::RunResult RunTraces(const std::vector<arch::Trace>& traces,
+                               runtime::MachineOptions opts);
+
+  std::string workload_;
+  workloads::Scale scale_;
+  arch::ArchConfig cfg_;
+  std::uint64_t seed_;
+  ir::Program base_program_;
+  std::vector<arch::Trace> base_traces_;
+  bool have_baseline_ = false;
+  runtime::RunResult baseline_;
+  bool have_observe_ = false;
+  runtime::RunResult observe_;
+};
+
+/// Percentage improvement of `t` over baseline `base` (positive = faster,
+/// the paper's "performance improvement").
+double ImprovementPct(sim::Cycle base, sim::Cycle t);
+
+/// Formats a markdown-style table row.
+std::string FormatRow(const std::vector<std::string>& cells, int width = 11);
+
+}  // namespace ndc::metrics

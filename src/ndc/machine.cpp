@@ -1,0 +1,770 @@
+#include "ndc/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ndc::runtime {
+namespace {
+
+// Packet kinds on the NoC.
+constexpr int kReq = 1;         // core -> home L2 bank (8 B)
+constexpr int kRespToCore = 2;  // home L2 bank -> core (L1 line, 64 B)
+constexpr int kReqToMc = 3;     // home L2 bank -> memory controller (8 B)
+constexpr int kRespToHome = 4;  // memory controller -> home L2 bank (L2 line, 256 B)
+constexpr int kWrite = 5;       // write-through traffic (64 B)
+constexpr int kNdcResult = 6;   // NDC result feed-back to the core (8 B)
+
+constexpr std::uint64_t Tag(std::uint64_t uid, int operand) {
+  return (uid << 1) | static_cast<std::uint64_t>(operand);
+}
+constexpr std::uint64_t TagUid(std::uint64_t tag) { return tag >> 1; }
+constexpr int TagOperand(std::uint64_t tag) { return static_cast<int>(tag & 1); }
+
+std::uint64_t QuadKey(sim::NodeId a, sim::NodeId b, sim::NodeId c, sim::NodeId d,
+                      bool reroute) {
+  std::uint64_t k = 0;
+  for (sim::NodeId v : {a, b, c, d}) k = (k << 10) | static_cast<std::uint64_t>(v & 0x3FF);
+  return (k << 1) | (reroute ? 1 : 0);
+}
+
+}  // namespace
+
+Machine::Machine(const arch::ArchConfig& cfg, MachineOptions opts)
+    : cfg_(cfg),
+      opts_(opts),
+      mesh_(cfg.mesh_width, cfg.mesh_height),
+      amap_(cfg.MakeAddressMap()) {
+  net_ = std::make_unique<noc::Network>(mesh_, eq_, cfg_.noc);
+  net_->set_hop_hook([this](noc::Packet& p, sim::LinkId l, sim::Cycle now) {
+    return OnHop(p, l, now);
+  });
+  int n = cfg_.num_nodes();
+  l1_.reserve(static_cast<std::size_t>(n));
+  l2_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    l1_.push_back(std::make_unique<mem::Cache>(cfg_.l1));
+    l2_.push_back(std::make_unique<mem::Cache>(cfg_.l2));
+  }
+  l2_busy_until_.assign(static_cast<std::size_t>(n), 0);
+  mc_nodes_ = cfg_.McNodes();
+  for (int m = 0; m < cfg_.num_mcs; ++m) {
+    mcs_.push_back(std::make_unique<mem::MemCtrl>(m, amap_, cfg_.dram, eq_));
+  }
+  for (int i = 0; i < n; ++i) {
+    cores_.push_back(std::make_unique<arch::Core>(i, cfg_, eq_, *this));
+  }
+  site_to_uid_.resize(static_cast<std::size_t>(n));
+  active_offloads_.assign(static_cast<std::size_t>(n), 0);
+  if (opts_.observe) records_ = std::make_shared<RunRecord>(n);
+}
+
+Machine::~Machine() = default;
+
+void Machine::LoadProgram(std::vector<arch::Trace> traces) {
+  int n = cfg_.num_nodes();
+  traces.resize(static_cast<std::size_t>(n));
+  load_to_cand_.assign(static_cast<std::size_t>(n), {});
+  cands_.assign(static_cast<std::size_t>(n), {});
+  future_reuse_.assign(static_cast<std::size_t>(n), {});
+  future_reuse_l2_.assign(static_cast<std::size_t>(n), {});
+  for (int c = 0; c < n; ++c) {
+    const arch::Trace& t = traces[static_cast<std::size_t>(c)];
+    auto& l2c = load_to_cand_[static_cast<std::size_t>(c)];
+    auto& cands = cands_[static_cast<std::size_t>(c)];
+    l2c.assign(t.size(), -1);
+    for (std::uint32_t i = 0; i < t.size(); ++i) {
+      const arch::Instr& in = t[i];
+      bool site = (in.kind == arch::Instr::Kind::kCompute && in.ndc_candidate) ||
+                  in.kind == arch::Instr::Kind::kPreCompute;
+      if (!site || in.dep0 < 0 || in.dep1 < 0) continue;
+      auto d0 = static_cast<std::uint32_t>(in.dep0);
+      auto d1 = static_cast<std::uint32_t>(in.dep1);
+      if (t[d0].kind != arch::Instr::Kind::kLoad || t[d1].kind != arch::Instr::Kind::kLoad)
+        continue;
+      if (l2c[d0] != -1 || l2c[d1] != -1) continue;  // a load feeds one site only
+      auto cand_id = static_cast<std::int32_t>(cands.size());
+      cands.push_back(CandInfo{i, {d0, d1}, in.kind == arch::Instr::Kind::kPreCompute});
+      l2c[d0] = cand_id * 2;
+      l2c[d1] = cand_id * 2 + 1;
+    }
+    future_reuse_[static_cast<std::size_t>(c)] = ComputeFutureReuse(t, cfg_.l1.line_bytes);
+    future_reuse_l2_[static_cast<std::size_t>(c)] = ComputeFutureReuse(t, cfg_.l2.line_bytes);
+    cores_[static_cast<std::size_t>(c)]->SetTrace(std::move(traces[static_cast<std::size_t>(c)]));
+  }
+}
+
+RunResult Machine::Run(sim::Cycle limit) {
+  for (auto& c : cores_) {
+    if (!c->trace().empty()) c->Start();
+  }
+  eq_.RunUntilEmpty(limit);
+
+  RunResult r;
+  r.events = eq_.executed();
+  for (auto& c : cores_) {
+    if (c->trace().empty()) continue;
+    if (!c->finished()) stats_.Add("run.incomplete_cores");
+    r.makespan = std::max(r.makespan, c->finish_cycle());
+  }
+  for (auto& cache : l1_) {
+    r.l1_hits += cache->hits();
+    r.l1_misses += cache->misses();
+  }
+  for (auto& cache : l2_) {
+    r.l2_hits += cache->hits();
+    r.l2_misses += cache->misses();
+  }
+  r.candidates = stats_.Get("ndc.candidates");
+  r.local_l1_skips = stats_.Get("ndc.local_l1_skips");
+  r.offloads = stats_.Get("ndc.offloads");
+  r.ndc_success = stats_.Get("ndc.success");
+  r.fallbacks = stats_.Get("ndc.fallbacks");
+  r.ndc_at_loc = ndc_at_loc_;
+  r.stats = stats_;
+  for (const auto& [k, v] : net_->stats().all()) r.stats.Add(k, v);
+  for (auto& m : mcs_) {
+    for (const auto& [k, v] : m->stats().all()) r.stats.Add(k, v);
+  }
+  if (opts_.observe) {
+    FinalizeRecords(r);
+    r.records = records_;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryPort
+// ---------------------------------------------------------------------------
+
+void Machine::IssueLoad(sim::NodeId core, std::uint32_t idx, sim::Addr addr) {
+  auto c = static_cast<std::size_t>(core);
+  Instance* inst = nullptr;
+  int operand = -1;
+  std::int32_t lc = load_to_cand_[c][idx];
+  if (lc >= 0) {
+    const CandInfo& cand = cands_[c][static_cast<std::size_t>(lc) / 2];
+    operand = lc % 2;
+    inst = FindInstance(core, cand.site_idx);
+    if (inst == nullptr) {
+      // First operand load of this site: create the dynamic instance.
+      std::uint64_t uid = next_uid_++;
+      Instance ni;
+      ni.uid = uid;
+      ni.core = core;
+      ni.site_idx = cand.site_idx;
+      const arch::Instr& site = cores_[c]->trace()[cand.site_idx];
+      ni.pc = site.pc;
+      ni.site = site.site;
+      ni.op = site.op;
+      ni.load_idx = cand.load_idx;
+      ni.addr = {cores_[c]->trace()[cand.load_idx[0]].addr,
+                 cores_[c]->trace()[cand.load_idx[1]].addr};
+      ni.is_precompute = cand.is_precompute;
+      site_to_uid_[c][cand.site_idx] = uid;
+      inst = &instances_.emplace(uid, std::move(ni)).first->second;
+    }
+    // Second operand load issued? (the other load slot is already past the
+    // in-order issue pointer, or it is this very slot when both deps alias).
+    std::uint32_t other = inst->load_idx[operand == 0 ? 1 : 0];
+    if (other == idx || cores_[c]->issued(other)) {
+      OnSecondLoadIssued(core, cands_[c][static_cast<std::size_t>(lc) / 2], inst->addr[0],
+                         inst->addr[1]);
+      inst = InstanceByUid(site_to_uid_[c][cands_[c][static_cast<std::size_t>(lc) / 2].site_idx]);
+    }
+  }
+
+  bool hit = l1_[c]->Access(addr);
+  if (hit) {
+    sim::Cycle done = eq_.now() + cfg_.l1.access_latency;
+    cores_[c]->Complete(idx, done);
+    if (inst != nullptr) {
+      std::uint64_t uid = inst->uid;
+      eq_.ScheduleAt(done, [this, uid, operand, done] {
+        if (Instance* i2 = InstanceByUid(uid)) OnOperandAtCore(*i2, operand, done);
+      });
+    }
+    return;
+  }
+  std::uint64_t uid = inst ? inst->uid : 0;
+  eq_.ScheduleAfter(cfg_.l1.access_latency, [this, core, idx, addr, uid, operand] {
+    Instance* i2 = uid ? InstanceByUid(uid) : nullptr;
+    StartL1Miss(core, idx, addr, i2, operand);
+  });
+}
+
+void Machine::IssueStore(sim::NodeId core, std::uint32_t idx, sim::Addr addr) {
+  (void)idx;
+  auto c = static_cast<std::size_t>(core);
+  l1_[c]->Access(addr);  // write-through, no-allocate
+  sim::NodeId home = amap_.HomeBank(addr);
+  eq_.ScheduleAfter(cfg_.l1.access_latency, [this, core, home, addr] {
+    SendLocal(core, home, 64, {}, 0, kWrite, [this, home, addr](const noc::Packet&, sim::Cycle) {
+      // Write-allocate at the L2 home bank (write-back policy; dirty
+      // eviction write-back traffic is not modeled — see DESIGN.md).
+      l2_[static_cast<std::size_t>(home)]->Fill(addr);
+    });
+  });
+}
+
+void Machine::IssuePreCompute(sim::NodeId core, std::uint32_t idx, const arch::Instr& instr) {
+  (void)instr;
+  Instance* inst = FindInstance(core, idx);
+  if (inst == nullptr) {
+    // Degenerate site (e.g. operand loads were deduplicated away): nothing
+    // will complete it, so complete immediately as a 1-cycle no-op.
+    cores_[static_cast<std::size_t>(core)]->Complete(idx, eq_.now() + 1);
+    return;
+  }
+  // If both operands already reached the core conventionally, finish now.
+  MaybeFallback(*inst);
+}
+
+// ---------------------------------------------------------------------------
+// Memory path
+// ---------------------------------------------------------------------------
+
+void Machine::SendLocal(sim::NodeId from, sim::NodeId to, int bytes, noc::Route route,
+                        std::uint64_t tag, int kind, noc::Network::DeliverFn fn) {
+  if (from == to) {
+    eq_.ScheduleAfter(cfg_.noc.router_pipeline, [fn = std::move(fn)] {
+      noc::Packet p;
+      fn(p, 0);
+    });
+    return;
+  }
+  noc::Packet p;
+  p.src = from;
+  p.dst = to;
+  p.size_bytes = bytes;
+  p.route = std::move(route);
+  p.tag = tag;
+  p.kind = kind;
+  net_->Send(std::move(p), std::move(fn));
+}
+
+void Machine::StartL1Miss(sim::NodeId core, std::uint32_t idx, sim::Addr addr, Instance* inst,
+                          int operand) {
+  (void)operand;
+  sim::NodeId home = amap_.HomeBank(addr);
+  std::uint64_t tag = inst ? Tag(inst->uid, operand) : 0;
+  if (home == core) {
+    AccessL2(home, core, idx, addr, tag);
+    return;
+  }
+  SendLocal(core, home, 8, {}, tag, kReq,
+            [this, home, core, idx, addr, tag](const noc::Packet&, sim::Cycle) {
+              AccessL2(home, core, idx, addr, tag);
+            });
+}
+
+void Machine::AccessL2(sim::NodeId home, sim::NodeId core, std::uint32_t idx, sim::Addr addr,
+                       std::uint64_t tag) {
+  auto h = static_cast<std::size_t>(home);
+  sim::Cycle start = std::max(eq_.now(), l2_busy_until_[h]);
+  l2_busy_until_[h] = start + 2;  // bank occupancy (pipelined)
+  bool hit = l2_[h]->Access(addr);
+  sim::Cycle ready = start + cfg_.l2.access_latency;
+  if (hit) {
+    eq_.ScheduleAt(ready, [this, home, core, idx, addr, tag] {
+      L2DataReady(home, core, idx, addr, tag);
+    });
+    return;
+  }
+  eq_.ScheduleAt(ready, [this, home, core, idx, addr, tag] {
+    sim::McId m = amap_.Mc(addr);
+    sim::NodeId mc_node = mc_nodes_[static_cast<std::size_t>(m)];
+    SendLocal(home, mc_node, 8, {}, tag, kReqToMc,
+              [this, m, home, core, idx, addr, tag](const noc::Packet&, sim::Cycle) {
+                mcs_[static_cast<std::size_t>(m)]->EnqueueRead(
+                    tag, addr, [this, m, home, core, idx, addr, tag](std::uint64_t, sim::Cycle) {
+                      McDataReady(m, home, core, idx, addr, tag);
+                    });
+              });
+  });
+}
+
+void Machine::McDataReady(sim::McId mc, sim::NodeId home, sim::NodeId core, std::uint32_t idx,
+                          sim::Addr addr, std::uint64_t tag) {
+  sim::NodeId mc_node = mc_nodes_[static_cast<std::size_t>(mc)];
+  auto forward = [this, mc_node, home, core, idx, addr, tag] {
+    Instance* inst = tag ? InstanceByUid(TagUid(tag)) : nullptr;
+    noc::Route route;
+    if (inst != nullptr && inst->offloaded && inst->planned == Loc::kLinkBuffer) {
+      route = inst->route_mc_to_home[static_cast<std::size_t>(TagOperand(tag))];
+    }
+    SendLocal(mc_node, home, 256, std::move(route), tag, kRespToHome,
+              [this, home, core, idx, addr, tag](const noc::Packet&, sim::Cycle) {
+                l2_[static_cast<std::size_t>(home)]->Fill(addr);
+                L2DataReady(home, core, idx, addr, tag);
+              });
+  };
+
+  if (tag != 0) {
+    if (Instance* inst = InstanceByUid(TagUid(tag))) {
+      int operand = TagOperand(tag);
+      int bank = amap_.DramBank(addr);
+      if (opts_.observe) {
+        RecordObs(*inst, operand, Loc::kMemCtrl, mc_node, eq_.now());
+        RecordObs(*inst, operand, Loc::kMemBank, mc_node, eq_.now());
+      }
+      if (inst->offloaded &&
+          (inst->planned == Loc::kMemCtrl || inst->planned == Loc::kMemBank)) {
+        int key = inst->planned == Loc::kMemCtrl ? static_cast<int>(mc)
+                                                 : static_cast<int>(mc) * 64 + bank;
+        if (OnOperandAtLoc(*inst, operand, inst->planned, mc_node, key, forward)) return;
+      }
+    }
+  }
+  forward();
+}
+
+void Machine::L2DataReady(sim::NodeId home, sim::NodeId core, std::uint32_t idx,
+                          sim::Addr addr, std::uint64_t tag) {
+  auto forward = [this, home, core, idx, addr, tag] {
+    SendResponseToCore(home, core, idx, addr, tag);
+  };
+  if (tag != 0) {
+    if (Instance* inst = InstanceByUid(TagUid(tag))) {
+      int operand = TagOperand(tag);
+      if (opts_.observe) {
+        RecordObs(*inst, operand, Loc::kCacheCtrl, home, eq_.now());
+        // Residency check: if the partner operand arrived earlier, is its
+        // line still resident now? (Paper: "x is replaced from the L2
+        // cache before y reaches there".)
+        LocObs& obs = inst->obs[static_cast<std::size_t>(Loc::kCacheCtrl)];
+        int other = operand == 0 ? 1 : 0;
+        sim::Cycle t_other = other == 0 ? obs.t_a : obs.t_b;
+        if (obs.feasible && t_other != sim::kNeverCycle) {
+          sim::Addr other_addr = inst->addr[static_cast<std::size_t>(other)];
+          if (!l2_[static_cast<std::size_t>(home)]->Contains(other_addr)) obs.meet_ok = false;
+        }
+      }
+      if (inst->offloaded && inst->planned == Loc::kCacheCtrl) {
+        if (OnOperandAtLoc(*inst, operand, Loc::kCacheCtrl, home, home, forward)) return;
+      }
+    }
+  }
+  forward();
+}
+
+void Machine::SendResponseToCore(sim::NodeId home, sim::NodeId core, std::uint32_t idx,
+                                 sim::Addr addr, std::uint64_t tag) {
+  Instance* inst = tag ? InstanceByUid(TagUid(tag)) : nullptr;
+  noc::Route route;
+  if (inst != nullptr && inst->offloaded && inst->planned == Loc::kLinkBuffer) {
+    route = inst->route_home_to_core[static_cast<std::size_t>(TagOperand(tag))];
+  }
+  SendLocal(home, core, 64, std::move(route), tag, kRespToCore,
+            [this, core, idx, addr, tag](const noc::Packet&, sim::Cycle) {
+              DeliverToCore(core, idx, addr, tag);
+            });
+}
+
+void Machine::DeliverToCore(sim::NodeId core, std::uint32_t idx, sim::Addr addr,
+                            std::uint64_t tag) {
+  l1_[static_cast<std::size_t>(core)]->Fill(addr);
+  sim::Cycle now = eq_.now();
+  cores_[static_cast<std::size_t>(core)]->Complete(idx, now);
+  if (tag != 0) {
+    if (Instance* inst = InstanceByUid(TagUid(tag))) {
+      OnOperandAtCore(*inst, TagOperand(tag), now);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NDC engine
+// ---------------------------------------------------------------------------
+
+void Machine::OnSecondLoadIssued(sim::NodeId core, const CandInfo& cand, sim::Addr a,
+                                 sim::Addr b) {
+  Instance* inst = FindInstance(core, cand.site_idx);
+  assert(inst != nullptr);
+  if (inst->state != InstState::kPending || inst->feasible_mask != 0 || inst->local_l1 ||
+      inst->offloaded) {
+    return;  // already decided (defensive)
+  }
+  stats_.Add("ndc.candidates");
+
+  auto c = static_cast<std::size_t>(core);
+  // LD/ST-unit local-cache probe (Section 2): if an operand is already in
+  // the local L1, perform the computation in the core.
+  if (l1_[c]->Contains(a) || l1_[c]->Contains(b)) {
+    inst->local_l1 = true;
+    inst->state = InstState::kConventional;
+    stats_.Add("ndc.local_l1_skips");
+    return;
+  }
+
+  inst->feasible_mask = ComputeFeasibility(*inst);
+
+  if (opts_.observe) {
+    PlanRoutes(*inst);  // XY-based shared links for link observations
+    inst->state = InstState::kConventional;
+    for (int l = 0; l < arch::kNumLocs; ++l) {
+      inst->obs[static_cast<std::size_t>(l)].feasible =
+          (inst->feasible_mask >> l) & 1;
+    }
+    return;
+  }
+
+  Decision d;
+  if (cand.is_precompute && opts_.honor_precompute) {
+    const arch::Instr& site = cores_[c]->trace()[cand.site_idx];
+    std::uint8_t allowed = inst->feasible_mask & cfg_.control_register;
+    if (allowed & arch::LocBit(site.planned_loc)) {
+      d.offload = true;
+      d.loc = site.planned_loc;
+      d.timeout = site.timeout ? site.timeout : cfg_.default_timeout;
+    } else {
+      stats_.Add("ndc.plan_infeasible");
+    }
+  } else if (opts_.policy != nullptr) {
+    d = opts_.policy->Decide(core, cand.site_idx, inst->pc, a, b, inst->feasible_mask);
+  }
+
+  if (cfg_.restrict_ops_to_addsub && !arch::IsAddSub(inst->op)) d.offload = false;
+
+  // LD/ST-unit offload table capacity (Section 2).
+  if (d.offload && active_offloads_[c] >= cfg_.offload_table_entries) {
+    stats_.Add("ndc.offload_table_full");
+    d.offload = false;
+  }
+
+  if (!d.offload) {
+    inst->state = InstState::kConventional;
+    return;
+  }
+  inst->offloaded = true;
+  inst->planned = d.loc;
+  inst->timeout = std::max<sim::Cycle>(1, d.timeout);
+  ++active_offloads_[c];
+  stats_.Add("ndc.offloads");
+  PlanRoutes(*inst);
+  if (!cand.is_precompute) cores_[c]->MarkExternal(cand.site_idx);
+}
+
+std::uint8_t Machine::ComputeFeasibility(Instance& inst) {
+  std::uint8_t mask = 0;
+  sim::Addr a = inst.addr[0], b = inst.addr[1];
+  sim::NodeId ha = amap_.HomeBank(a), hb = amap_.HomeBank(b);
+  sim::McId ma = amap_.Mc(a), mb = amap_.Mc(b);
+  if (ha == hb) mask |= arch::LocBit(Loc::kCacheCtrl);
+  if (ma == mb) {
+    mask |= arch::LocBit(Loc::kMemCtrl);
+    if (amap_.DramBank(a) == amap_.DramBank(b)) mask |= arch::LocBit(Loc::kMemBank);
+  }
+  bool reroute = inst.is_precompute && cfg_.allow_reroute && !opts_.observe;
+  const noc::RoutePair& p1 = OverlapFor(ha, inst.core, hb, inst.core, reroute);
+  bool link = p1.shared_links > 0;
+  if (!link) {
+    sim::NodeId mna = mc_nodes_[static_cast<std::size_t>(ma)];
+    sim::NodeId mnb = mc_nodes_[static_cast<std::size_t>(mb)];
+    const noc::RoutePair& p2 = OverlapFor(mna, ha, mnb, hb, reroute);
+    link = p2.shared_links > 0;
+  }
+  if (link) mask |= arch::LocBit(Loc::kLinkBuffer);
+  return mask;
+}
+
+const noc::RoutePair& Machine::OverlapFor(sim::NodeId a_src, sim::NodeId a_dst,
+                                          sim::NodeId b_src, sim::NodeId b_dst, bool reroute) {
+  std::uint64_t key = QuadKey(a_src, a_dst, b_src, b_dst, reroute);
+  auto it = route_pair_cache_.find(key);
+  if (it != route_pair_cache_.end()) return it->second;
+  noc::RoutePair p;
+  if (reroute) {
+    p = noc::MaxOverlapRoutes(mesh_, a_src, a_dst, b_src, b_dst);
+  } else {
+    p.a = noc::XyRoute(mesh_, a_src, a_dst);
+    p.b = noc::XyRoute(mesh_, b_src, b_dst);
+    p.shared = noc::Signature::FromRoute(p.a).Intersect(noc::Signature::FromRoute(p.b));
+    p.shared_links = p.shared.Popcount();
+  }
+  return route_pair_cache_.emplace(key, std::move(p)).first->second;
+}
+
+void Machine::PlanRoutes(Instance& inst) {
+  bool reroute = inst.is_precompute && cfg_.allow_reroute && !opts_.observe;
+  sim::NodeId ha = amap_.HomeBank(inst.addr[0]), hb = amap_.HomeBank(inst.addr[1]);
+  sim::McId ma = amap_.Mc(inst.addr[0]), mb = amap_.Mc(inst.addr[1]);
+  sim::NodeId mna = mc_nodes_[static_cast<std::size_t>(ma)];
+  sim::NodeId mnb = mc_nodes_[static_cast<std::size_t>(mb)];
+  const noc::RoutePair& p1 = OverlapFor(ha, inst.core, hb, inst.core, reroute);
+  const noc::RoutePair& p2 = OverlapFor(mna, ha, mnb, hb, reroute);
+  inst.route_home_to_core = {p1.a, p1.b};
+  inst.route_mc_to_home = {p2.a, p2.b};
+  inst.shared_links = p1.shared.Union(p2.shared);
+  // Observation timing link: the first shared link along operand A's
+  // home->core route, falling back to the MC segment.
+  inst.obs_link = sim::kNoLink;
+  for (sim::LinkId l : p1.a) {
+    if (p1.shared.Test(l)) {
+      inst.obs_link = l;
+      break;
+    }
+  }
+  if (inst.obs_link == sim::kNoLink) {
+    for (sim::LinkId l : p2.a) {
+      if (p2.shared.Test(l)) {
+        inst.obs_link = l;
+        break;
+      }
+    }
+  }
+}
+
+noc::HopAction Machine::OnHop(noc::Packet& p, sim::LinkId link, sim::Cycle now) {
+  if (p.tag == 0) return noc::HopAction::kContinue;
+  if (p.kind != kRespToCore && p.kind != kRespToHome) return noc::HopAction::kContinue;
+  Instance* inst = InstanceByUid(TagUid(p.tag));
+  if (inst == nullptr) return noc::HopAction::kContinue;
+  int operand = TagOperand(p.tag);
+
+  if (opts_.observe) {
+    if (link == inst->obs_link) {
+      RecordObs(*inst, operand, Loc::kLinkBuffer, mesh_.LinkSource(link), now);
+    }
+    return noc::HopAction::kContinue;
+  }
+
+  if (!inst->offloaded || inst->planned != Loc::kLinkBuffer) return noc::HopAction::kContinue;
+  // A single designated meeting link per package avoids hold races where
+  // each operand waits at a different shared link.
+  if (link != inst->obs_link) return noc::HopAction::kContinue;
+
+  if (inst->at_planned[static_cast<std::size_t>(operand)] == sim::kNeverCycle) {
+    inst->at_planned[static_cast<std::size_t>(operand)] = now;
+    ReportWindow(*inst);
+  }
+
+  int other = operand == 0 ? 1 : 0;
+  switch (inst->state) {
+    case InstState::kWaiting:
+      if (inst->waiting_op == other && inst->held_link == link) {
+        std::uint64_t held = inst->held_packet;
+        MeetAndCompute(*inst, Loc::kLinkBuffer, mesh_.LinkSource(link));
+        net_->Squash(held);
+        return noc::HopAction::kSquash;
+      }
+      return noc::HopAction::kContinue;
+    case InstState::kPending: {
+      if (inst->at_core[static_cast<std::size_t>(other)] != sim::kNeverCycle) {
+        inst->state = InstState::kAborted;  // partner already done at core
+        return noc::HopAction::kContinue;
+      }
+      if (!ServiceTableReserve(Loc::kLinkBuffer, link)) {
+        stats_.Add("ndc.service_table_full");
+        inst->state = InstState::kAborted;
+        return noc::HopAction::kContinue;
+      }
+      inst->state = InstState::kWaiting;
+      inst->waiting_op = operand;
+      inst->held_link = link;
+      inst->held_packet = p.id;
+      inst->service_key = link;
+      std::uint64_t token = next_wait_token_++;
+      inst->wait_token = token;
+      std::uint64_t uid = inst->uid;
+      eq_.ScheduleAfter(inst->timeout, [this, uid, token] {
+        Instance* i2 = InstanceByUid(uid);
+        if (i2 != nullptr && i2->state == InstState::kWaiting && i2->wait_token == token) {
+          AbortWait(*i2, "timeout");
+        }
+      });
+      return noc::HopAction::kHold;
+    }
+    default:
+      return noc::HopAction::kContinue;
+  }
+}
+
+bool Machine::OnOperandAtLoc(Instance& inst, int operand, Loc loc, sim::NodeId node,
+                             int service_key, std::function<void()> resume) {
+  if (inst.at_planned[static_cast<std::size_t>(operand)] == sim::kNeverCycle) {
+    inst.at_planned[static_cast<std::size_t>(operand)] = eq_.now();
+    ReportWindow(inst);
+  }
+  int other = operand == 0 ? 1 : 0;
+  switch (inst.state) {
+    case InstState::kWaiting:
+      if (inst.waiting_op == other) {
+        // The waiting operand's held response is discarded: its data was
+        // consumed by the near-data computation.
+        inst.resume = nullptr;
+        MeetAndCompute(inst, loc, node);
+        return true;
+      }
+      return false;
+    case InstState::kPending: {
+      if (inst.at_core[static_cast<std::size_t>(other)] != sim::kNeverCycle) {
+        inst.state = InstState::kAborted;
+        return false;
+      }
+      if (!ServiceTableReserve(loc, service_key)) {
+        stats_.Add("ndc.service_table_full");
+        inst.state = InstState::kAborted;
+        return false;
+      }
+      inst.state = InstState::kWaiting;
+      inst.waiting_op = operand;
+      inst.resume = std::move(resume);
+      inst.service_key = service_key;
+      std::uint64_t token = next_wait_token_++;
+      inst.wait_token = token;
+      std::uint64_t uid = inst.uid;
+      eq_.ScheduleAfter(inst.timeout, [this, uid, token] {
+        Instance* i2 = InstanceByUid(uid);
+        if (i2 != nullptr && i2->state == InstState::kWaiting && i2->wait_token == token) {
+          AbortWait(*i2, "timeout");
+        }
+      });
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void Machine::MeetAndCompute(Instance& inst, Loc loc, sim::NodeId node) {
+  ServiceTableRelease(loc, inst.service_key);
+  if (active_offloads_[static_cast<std::size_t>(inst.core)] > 0) {
+    --active_offloads_[static_cast<std::size_t>(inst.core)];
+  }
+  inst.state = InstState::kComputed;
+  inst.waiting_op = -1;
+  sim::Cycle now = eq_.now();
+  stats_.Add("ndc.success");
+  ++ndc_at_loc_[static_cast<std::size_t>(loc)];
+  stats_.Add(std::string("ndc.at.") + arch::LocName(loc));
+  // Both operand loads are consumed by the near-data computation.
+  auto c = static_cast<std::size_t>(inst.core);
+  cores_[c]->Complete(inst.load_idx[0], now);
+  cores_[c]->Complete(inst.load_idx[1], now);
+  ReportWindow(inst);
+  // CPU-feed: the 8-byte result travels back to the core after the op.
+  sim::NodeId core = inst.core;
+  std::uint32_t site_idx = inst.site_idx;
+  eq_.ScheduleAfter(cfg_.compute_latency, [this, node, core, site_idx] {
+    SendLocal(node, core, 8, {}, 0, kNdcResult,
+              [this, core, site_idx](const noc::Packet&, sim::Cycle) {
+                cores_[static_cast<std::size_t>(core)]->Complete(site_idx, eq_.now());
+              });
+  });
+}
+
+void Machine::AbortWait(Instance& inst, const char* reason) {
+  ServiceTableRelease(inst.planned, inst.service_key);
+  inst.state = InstState::kAborted;
+  inst.waiting_op = -1;
+  stats_.Add(std::string("ndc.abort.") + reason);
+  if (inst.held_packet != 0 && net_->IsHeld(inst.held_packet)) {
+    net_->Release(inst.held_packet);
+    inst.held_packet = 0;
+  } else if (inst.resume) {
+    auto r = std::move(inst.resume);
+    inst.resume = nullptr;
+    r();
+  }
+}
+
+void Machine::OnOperandAtCore(Instance& inst, int operand, sim::Cycle when) {
+  inst.at_core[static_cast<std::size_t>(operand)] = when;
+  int other = operand == 0 ? 1 : 0;
+  if (inst.state == InstState::kWaiting && inst.waiting_op == other) {
+    // The partner operand finished conventionally: the planned meeting can
+    // no longer happen (offload-table feedback aborts the wait).
+    AbortWait(inst, "partner_done");
+  }
+  MaybeFallback(inst);
+}
+
+void Machine::MaybeFallback(Instance& inst) {
+  if (inst.fallback_done || inst.state == InstState::kComputed) return;
+  if (!inst.offloaded && !inst.is_precompute) return;  // core handles it
+  if (inst.at_core[0] == sim::kNeverCycle || inst.at_core[1] == sim::kNeverCycle) return;
+  inst.fallback_done = true;
+  sim::Cycle done = std::max(inst.at_core[0], inst.at_core[1]);
+  done = std::max(done, eq_.now()) + cfg_.compute_latency;
+  cores_[static_cast<std::size_t>(inst.core)]->Complete(inst.site_idx, done);
+  if (inst.offloaded) {
+    stats_.Add("ndc.fallbacks");
+    if (inst.state == InstState::kPending) inst.state = InstState::kAborted;
+    if (active_offloads_[static_cast<std::size_t>(inst.core)] > 0) {
+      --active_offloads_[static_cast<std::size_t>(inst.core)];
+    }
+  }
+}
+
+void Machine::RecordObs(Instance& inst, int operand, Loc loc, sim::NodeId node, sim::Cycle t) {
+  LocObs& obs = inst.obs[static_cast<std::size_t>(loc)];
+  sim::Cycle& slot = operand == 0 ? obs.t_a : obs.t_b;
+  if (slot == sim::kNeverCycle) slot = t;
+  obs.node = node;
+}
+
+void Machine::ReportWindow(Instance& inst) {
+  if (inst.window_reported || opts_.policy == nullptr || inst.is_precompute) return;
+  if (inst.at_planned[0] == sim::kNeverCycle || inst.at_planned[1] == sim::kNeverCycle) return;
+  inst.window_reported = true;
+  sim::Cycle w = inst.at_planned[0] > inst.at_planned[1]
+                     ? inst.at_planned[0] - inst.at_planned[1]
+                     : inst.at_planned[1] - inst.at_planned[0];
+  opts_.policy->ObserveWindow(inst.core, inst.pc, w);
+}
+
+bool Machine::ServiceTableReserve(Loc loc, int key) {
+  int& n = service_tables_[static_cast<std::size_t>(loc)][key];
+  if (n >= cfg_.service_table_entries) return false;
+  ++n;
+  return true;
+}
+
+void Machine::ServiceTableRelease(Loc loc, int key) {
+  auto& tbl = service_tables_[static_cast<std::size_t>(loc)];
+  auto it = tbl.find(key);
+  if (it != tbl.end() && it->second > 0) --it->second;
+}
+
+Machine::Instance* Machine::FindInstance(sim::NodeId core, std::uint32_t site_idx) {
+  auto& m = site_to_uid_[static_cast<std::size_t>(core)];
+  auto it = m.find(site_idx);
+  if (it == m.end()) return nullptr;
+  return InstanceByUid(it->second);
+}
+
+Machine::Instance* Machine::InstanceByUid(std::uint64_t uid) {
+  auto it = instances_.find(uid);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+void Machine::FinalizeRecords(RunResult& result) {
+  (void)result;
+  for (auto& [uid, inst] : instances_) {
+    (void)uid;
+    auto c = static_cast<std::size_t>(inst.core);
+    InstanceRecord& rec = records_->Get(inst.core, inst.site_idx);
+    rec.core = inst.core;
+    rec.compute_idx = inst.site_idx;
+    rec.pc = inst.pc;
+    rec.site = inst.site;
+    rec.a = inst.addr[0];
+    rec.b = inst.addr[1];
+    rec.local_l1 = inst.local_l1;
+    rec.locs = inst.obs;
+    rec.a_at_core = inst.at_core[0];
+    rec.b_at_core = inst.at_core[1];
+    // Conventional completion: when both operands' data reached the core
+    // plus the op latency (issue-width stalls of the consuming instruction
+    // are not NDC-addressable and would inflate breakevens).
+    if (inst.at_core[0] != sim::kNeverCycle && inst.at_core[1] != sim::kNeverCycle) {
+      rec.conv_done = std::max(inst.at_core[0], inst.at_core[1]) + cfg_.compute_latency;
+    } else {
+      rec.conv_done = cores_[c]->done_cycle(inst.site_idx);
+    }
+    rec.operand_reused_later = future_reuse_[c][inst.site_idx];
+    rec.operand_reused_later_l2 = future_reuse_l2_[c][inst.site_idx];
+  }
+}
+
+}  // namespace ndc::runtime

@@ -1,0 +1,53 @@
+#include "ndc/record.hpp"
+
+#include <unordered_map>
+
+namespace ndc::runtime {
+
+Cycle BreakevenPoint(const InstanceRecord& rec, Loc loc, Cycle op_latency,
+                     Cycle return_latency) {
+  const LocObs& obs = rec.at(loc);
+  if (!obs.feasible || !obs.BothArrived() || rec.conv_done == sim::kNeverCycle) return 0;
+  Cycle ndc_base = obs.FirstArrival() + op_latency + return_latency;
+  if (ndc_base >= rec.conv_done) return 0;
+  return rec.conv_done - ndc_base;
+}
+
+Cycle ResultReturnLatency(const noc::Mesh& mesh, const noc::NetworkParams& np, NodeId from,
+                          NodeId to) {
+  if (from == sim::kNoNode || to == sim::kNoNode) return np.router_pipeline;
+  int hops = mesh.Distance(from, to);
+  sim::Cycle ser = static_cast<sim::Cycle>((8 + np.link_bytes - 1) / np.link_bytes);
+  return np.router_pipeline + static_cast<sim::Cycle>(hops) * (np.router_pipeline + ser);
+}
+
+std::vector<bool> ComputeFutureReuse(const arch::Trace& trace, std::uint64_t l1_line_bytes) {
+  std::vector<bool> reused(trace.size(), false);
+  // Last trace index at which each L1 line is accessed by a Load or Store.
+  std::unordered_map<sim::Addr, std::uint32_t> last_access;
+  last_access.reserve(trace.size());
+  for (std::uint32_t i = 0; i < trace.size(); ++i) {
+    const arch::Instr& in = trace[i];
+    if (in.kind == arch::Instr::Kind::kLoad || in.kind == arch::Instr::Kind::kStore) {
+      last_access[in.addr / l1_line_bytes * l1_line_bytes] = i;
+    }
+  }
+  for (std::uint32_t i = 0; i < trace.size(); ++i) {
+    const arch::Instr& in = trace[i];
+    bool is_site = (in.kind == arch::Instr::Kind::kCompute && in.ndc_candidate) ||
+                   in.kind == arch::Instr::Kind::kPreCompute;
+    if (!is_site || in.dep0 < 0 || in.dep1 < 0) continue;
+    for (std::int32_t dep : {in.dep0, in.dep1}) {
+      const arch::Instr& ld = trace[static_cast<std::size_t>(dep)];
+      if (ld.kind != arch::Instr::Kind::kLoad) continue;
+      auto it = last_access.find(ld.addr / l1_line_bytes * l1_line_bytes);
+      if (it != last_access.end() && it->second > i) {
+        reused[i] = true;
+        break;
+      }
+    }
+  }
+  return reused;
+}
+
+}  // namespace ndc::runtime

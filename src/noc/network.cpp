@@ -1,0 +1,97 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ndc::noc {
+
+Network::Network(Mesh mesh, sim::EventQueue& eq, NetworkParams params)
+    : mesh_(mesh), eq_(eq), params_(params) {
+  link_busy_until_.assign(static_cast<std::size_t>(mesh_.num_link_slots()), 0);
+  link_hold_count_.assign(static_cast<std::size_t>(mesh_.num_link_slots()), 0);
+
+}
+
+std::uint64_t Network::Send(Packet p, DeliverFn on_deliver) {
+  p.id = next_id_++;
+  if (p.route.empty() && p.src != p.dst) p.route = XyRoute(mesh_, p.src, p.dst);
+  p.hop = 0;
+  stats_.Add("noc.packets");
+  stats_.Add("noc.bytes", static_cast<std::uint64_t>(p.size_bytes));
+  std::uint64_t id = p.id;
+  // Local delivery (same node) still pays one router pipeline transit.
+  eq_.ScheduleAfter(0, [this, p = std::move(p), d = std::move(on_deliver)]() mutable {
+    ProcessHop(std::move(p), std::move(d), /*run_hook=*/true);
+  });
+  return id;
+}
+
+void Network::ProcessHop(Packet p, DeliverFn deliver, bool run_hook) {
+  sim::Cycle now = eq_.now();
+  if (p.hop >= p.route.size()) {
+    eq_.ScheduleAfter(params_.router_pipeline, [p = std::move(p), d = std::move(deliver)]() {
+      d(p, 0);
+    });
+    return;
+  }
+  sim::LinkId link = p.route[p.hop];
+  if (run_hook && hop_hook_) {
+    switch (hop_hook_(p, link, now)) {
+      case HopAction::kContinue:
+        break;
+      case HopAction::kHold:
+        stats_.Add("noc.holds");
+        ++link_hold_count_[static_cast<std::size_t>(link)];
+        held_.emplace(p.id, Held{std::move(p), std::move(deliver), link});
+        return;
+      case HopAction::kSquash:
+        stats_.Add("noc.squashes");
+        return;
+    }
+  }
+  Traverse(std::move(p), std::move(deliver), link);
+}
+
+void Network::Traverse(Packet p, DeliverFn deliver, sim::LinkId link) {
+  sim::Cycle now = eq_.now();
+  sim::Cycle ready = now + params_.router_pipeline;
+  // Buffer pressure: each packet held in this link's buffer (an NDC operand
+  // waiting for its partner) reduces the slots available to passing
+  // traffic, delaying it proportionally.
+  int held_here = link_hold_count_[static_cast<std::size_t>(link)];
+  if (held_here > 0) {
+    stats_.Add("noc.hol_blocked");
+    ready += static_cast<sim::Cycle>(held_here) * kHoldPenalty;
+  }
+  sim::Cycle depart = std::max(ready, link_busy_until_[static_cast<std::size_t>(link)]);
+  sim::Cycle ser = SerializationCycles(p.size_bytes);
+  link_busy_until_[static_cast<std::size_t>(link)] = depart + ser;
+  stats_.Add("noc.link_busy_cycles", ser);
+  if (depart > ready) stats_.Add("noc.contention_cycles", depart - ready);
+  sim::Cycle arrive = depart + ser;
+  p.hop++;
+  eq_.ScheduleAt(arrive, [this, p = std::move(p), d = std::move(deliver)]() mutable {
+    ProcessHop(std::move(p), std::move(d), /*run_hook=*/true);
+  });
+}
+
+void Network::Release(std::uint64_t packet_id) {
+  auto it = held_.find(packet_id);
+  if (it == held_.end()) return;
+  Held h = std::move(it->second);
+  held_.erase(it);
+  stats_.Add("noc.releases");
+  --link_hold_count_[static_cast<std::size_t>(h.link)];
+  Traverse(std::move(h.packet), std::move(h.deliver), h.link);
+}
+
+void Network::Squash(std::uint64_t packet_id) {
+  auto it = held_.find(packet_id);
+  if (it == held_.end()) return;
+  sim::LinkId link = it->second.link;
+  held_.erase(it);
+  stats_.Add("noc.squashes");
+  --link_hold_count_[static_cast<std::size_t>(link)];
+}
+
+}  // namespace ndc::noc

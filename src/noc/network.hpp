@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "noc/geometry.hpp"
+#include "noc/routing.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace ndc::noc {
+
+/// Timing/structural parameters of the on-chip network (Table 1 defaults:
+/// 16-byte links, 3-cycle router pipeline, X-Y routing).
+struct NetworkParams {
+  sim::Cycle router_pipeline = 3;  ///< per-hop router latency
+  int link_bytes = 16;             ///< link width (bytes transferred per cycle)
+};
+
+/// A message traversing the NoC. `route` is fixed at injection time (the
+/// compiler may have selected a non-default minimal route; hardware default
+/// is X-Y).
+struct Packet {
+  std::uint64_t id = 0;       ///< assigned by Network::Send
+  sim::NodeId src = 0;
+  sim::NodeId dst = 0;
+  int size_bytes = 8;
+  Route route;                ///< links from src to dst
+  std::size_t hop = 0;        ///< index of the next link to traverse
+  std::uint64_t tag = 0;      ///< opaque user tag (e.g. memory request id)
+  int kind = 0;               ///< opaque user kind
+};
+
+/// What a hop hook tells the network to do with a packet that just arrived
+/// at a router.
+enum class HopAction {
+  kContinue,  ///< traverse the next link normally
+  kHold,      ///< park the packet in this router's link buffer (NDC wait)
+  kSquash,    ///< consume the packet here (NDC computed; data no longer travels)
+};
+
+/// Cycle-approximate mesh network with per-link serialization and
+/// contention (busy-until per link), a 3-cycle router pipeline per hop, and
+/// a per-hop hook that lets the NDC engine observe, hold, or squash packets
+/// at link buffers.
+class Network {
+ public:
+  using DeliverFn = std::function<void(const Packet&, sim::Cycle)>;
+  /// Called when `packet` is at the router about to traverse `link`.
+  using HopHook = std::function<HopAction(Packet&, sim::LinkId, sim::Cycle)>;
+
+  Network(Mesh mesh, sim::EventQueue& eq, NetworkParams params = {});
+
+  const Mesh& mesh() const { return mesh_; }
+  const NetworkParams& params() const { return params_; }
+
+  /// Injects a packet. If `p.route` is empty and src != dst, the default
+  /// X-Y route is used. Returns the packet id.
+  std::uint64_t Send(Packet p, DeliverFn on_deliver);
+
+  /// Resumes a packet previously held by the hop hook. No-op if the id is
+  /// unknown (e.g. already squashed).
+  void Release(std::uint64_t packet_id);
+
+  /// Consumes a held packet (its data was absorbed by an NDC computation).
+  void Squash(std::uint64_t packet_id);
+
+  bool IsHeld(std::uint64_t packet_id) const { return held_.count(packet_id) != 0; }
+
+  void set_hop_hook(HopHook hook) { hop_hook_ = std::move(hook); }
+
+  /// Serialization latency of a packet on one link.
+  sim::Cycle SerializationCycles(int size_bytes) const {
+    return static_cast<sim::Cycle>((size_bytes + params_.link_bytes - 1) / params_.link_bytes);
+  }
+
+  /// Uncontended latency of a full route (used by breakeven estimation).
+  sim::Cycle UncontendedLatency(int hops, int size_bytes) const {
+    if (hops == 0) return params_.router_pipeline;
+    return static_cast<sim::Cycle>(hops) * (params_.router_pipeline + SerializationCycles(size_bytes));
+  }
+
+  sim::StatSet& stats() { return stats_; }
+  const sim::StatSet& stats() const { return stats_; }
+
+ private:
+  struct Held {
+    Packet packet;
+    DeliverFn deliver;
+    sim::LinkId link;
+  };
+
+  void ProcessHop(Packet p, DeliverFn deliver, bool run_hook);
+  void Traverse(Packet p, DeliverFn deliver, sim::LinkId link);
+
+  /// Extra cycles a passing packet pays per held packet in a link buffer.
+  static constexpr sim::Cycle kHoldPenalty = 16;
+
+  Mesh mesh_;
+  sim::EventQueue& eq_;
+  NetworkParams params_;
+  HopHook hop_hook_;
+  std::vector<sim::Cycle> link_busy_until_;
+  // Held packets occupy link-buffer slots; passing traffic pays a
+  // per-held-packet delay (buffer pressure).
+  std::vector<int> link_hold_count_;
+  std::unordered_map<std::uint64_t, Held> held_;
+  std::uint64_t next_id_ = 1;
+  sim::StatSet stats_;
+};
+
+}  // namespace ndc::noc

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "noc/geometry.hpp"
+#include "noc/signature.hpp"
+
+namespace ndc::noc {
+
+/// A route is the ordered list of directional links traversed from source
+/// to destination. Empty when src == dst.
+using Route = std::vector<sim::LinkId>;
+
+/// Deterministic dimension-ordered routes (the mesh's default is X-Y,
+/// per Table 1).
+Route XyRoute(const Mesh& mesh, sim::NodeId src, sim::NodeId dst);
+Route YxRoute(const Mesh& mesh, sim::NodeId src, sim::NodeId dst);
+
+/// A minimal "staircase" route that travels in x until column `pivot_x`,
+/// then in y until row `pivot_y`, then finishes x then y. `pivot_x` /
+/// `pivot_y` must lie within the bounding box of src..dst; the result is
+/// always a minimal route.
+Route StaircaseRoute(const Mesh& mesh, sim::NodeId src, sim::NodeId dst, int pivot_x,
+                     int pivot_y);
+
+/// Every minimal route from src to dst (there are C(dx+dy, dx) of them).
+/// Intended for tests and exhaustive searches on small meshes.
+std::vector<Route> EnumerateMinimalRoutes(const Mesh& mesh, sim::NodeId src, sim::NodeId dst);
+
+/// Result of the signature co-selection of Section 5.2.1 (challenge 3):
+/// minimal routes for two independent accesses chosen to maximize
+/// popcount(S_a ∩ S_b), i.e. the number of physical links the two accesses
+/// share (each shared link is an NDC opportunity at its router).
+struct RoutePair {
+  Route a;
+  Route b;
+  Signature shared;  // S_a ∩ S_b
+  int shared_links = 0;
+};
+
+/// Chooses minimal routes for (a_src -> a_dst) and (b_src -> b_dst)
+/// maximizing the number of common links. Uses the closed-form staircase
+/// construction (exact for monotone minimal paths; verified against
+/// exhaustive enumeration in tests).
+RoutePair MaxOverlapRoutes(const Mesh& mesh, sim::NodeId a_src, sim::NodeId a_dst,
+                           sim::NodeId b_src, sim::NodeId b_dst);
+
+/// Exhaustive-search reference implementation of MaxOverlapRoutes (small
+/// meshes only; O(#paths^2)).
+RoutePair MaxOverlapRoutesBruteForce(const Mesh& mesh, sim::NodeId a_src, sim::NodeId a_dst,
+                                     sim::NodeId b_src, sim::NodeId b_dst);
+
+/// True if `route` is a valid route: consecutive links connect, starts at
+/// src, ends at dst.
+bool IsValidRoute(const Mesh& mesh, const Route& route, sim::NodeId src, sim::NodeId dst);
+
+/// True if `route` has minimal (Manhattan) length.
+bool IsMinimalRoute(const Mesh& mesh, const Route& route, sim::NodeId src, sim::NodeId dst);
+
+}  // namespace ndc::noc

@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace ndc::sim {
+
+void EventQueue::ScheduleAt(Cycle when, Callback cb) {
+  assert(when >= now_ && "cannot schedule an event in the past");
+  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::Step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; moving the callback out requires a copy
+  // otherwise, so stash it before popping.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = e.when;
+  ++executed_;
+  e.cb();
+  return true;
+}
+
+std::uint64_t EventQueue::RunUntilEmpty(Cycle limit) {
+  std::uint64_t n = 0;
+  while (!heap_.empty()) {
+    if (heap_.top().when > limit) break;
+    Step();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ndc::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ndc::sim {
+
+/// A deterministic discrete-event queue.
+///
+/// Events scheduled for the same cycle execute in the order they were
+/// scheduled (FIFO tie-break via a monotonically increasing sequence
+/// number), which makes whole-machine simulations bit-reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute cycle `when`.
+  /// `when` must be >= now().
+  void ScheduleAt(Cycle when, Callback cb);
+
+  /// Schedules `cb` to run `delay` cycles from now.
+  void ScheduleAfter(Cycle delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+
+  /// Runs events until the queue is empty or `limit` cycles have elapsed.
+  /// Returns the number of events executed.
+  std::uint64_t RunUntilEmpty(Cycle limit = kNeverCycle);
+
+  /// Runs at most one event; returns false if the queue was empty.
+  bool Step();
+
+  /// Current simulated time.
+  Cycle now() const { return now_; }
+
+  /// Number of pending events.
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Total events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Cycle when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ndc::sim

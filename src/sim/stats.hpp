@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ndc::sim {
+
+/// Bucketed histogram matching the paper's arrival-window buckets
+/// (1, 10, 20, 50, 100, 500, 500+). Bucket `i` counts samples
+/// v <= edges[i] (and > edges[i-1]); the final implicit bucket counts
+/// everything above the last edge (the paper's "500+", which also absorbs
+/// "never arrives" samples encoded as kNeverCycle).
+class BucketHistogram {
+ public:
+  explicit BucketHistogram(std::vector<std::uint64_t> edges = {1, 10, 20, 50, 100, 500});
+
+  void Add(std::uint64_t value, std::uint64_t weight = 1);
+
+  /// Count in bucket i (i == edges().size() is the overflow bucket).
+  std::uint64_t count(std::size_t i) const { return counts_[i]; }
+  std::uint64_t total() const { return total_; }
+  const std::vector<std::uint64_t>& edges() const { return edges_; }
+  std::size_t num_buckets() const { return counts_.size(); }
+
+  /// Fraction of samples in bucket i.
+  double Fraction(std::size_t i) const;
+
+  /// Cumulative fraction of samples <= edges[i].
+  double CumulativeFraction(std::size_t i) const;
+
+  /// Fraction of samples <= `value` (exact, using raw samples is not kept;
+  /// this interpolates bucket boundaries so only call with bucket edges).
+  double FractionAtEdge(std::uint64_t edge) const;
+
+  void MergeFrom(const BucketHistogram& other);
+
+ private:
+  std::vector<std::uint64_t> edges_;
+  std::vector<std::uint64_t> counts_;  // edges_.size() + 1 entries
+  std::uint64_t total_ = 0;
+};
+
+/// A flat named-counter registry. Components bump counters by name; benches
+/// and tests read them back. Deliberately simple (string keys) because this
+/// is bookkeeping, never on the simulated critical path hot loop.
+class StatSet {
+ public:
+  void Add(const std::string& name, std::uint64_t delta = 1) { counters_[name] += delta; }
+  std::uint64_t Get(const std::string& name) const;
+  bool Has(const std::string& name) const { return counters_.count(name) != 0; }
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  void Clear() { counters_.clear(); }
+
+  /// Pretty one-line-per-counter dump (for examples and debugging).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// Simple online mean/min/max accumulator.
+class Accumulator {
+ public:
+  void Add(double v);
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean over strictly positive values; values <= 0 are clamped to
+/// `floor` (used for "performance improvement" aggregation like the paper's
+/// geo-means, where a slowdown is a ratio < 1 but still positive).
+double GeometricMean(const std::vector<double>& values, double floor = 1e-9);
+
+}  // namespace ndc::sim

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// Fundamental scalar types shared by every subsystem.
+namespace ndc::sim {
+
+/// Simulated time, in core clock cycles.
+using Cycle = std::uint64_t;
+
+/// A physical byte address in the simulated machine.
+using Addr = std::uint64_t;
+
+/// Index of a mesh node (core + L1 + L2 bank share one node).
+using NodeId = std::int32_t;
+
+/// Index of a directional NoC link.
+using LinkId = std::int32_t;
+
+/// Index of a memory controller.
+using McId = std::int32_t;
+
+/// Sentinel for "no cycle" / "not yet".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Sentinel node / link.
+inline constexpr NodeId kNoNode = -1;
+inline constexpr LinkId kNoLink = -1;
+
+}  // namespace ndc::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ndc::workloads {
+
+/// Problem scale. kTest keeps ctest fast; kSmall is the bench default;
+/// kFull stresses the memory system harder (longer runs).
+enum class Scale { kTest, kSmall, kFull };
+
+/// Static description of one stand-in kernel.
+struct WorkloadInfo {
+  std::string name;     ///< paper benchmark name (md, swim, ocean, ...)
+  std::string suite;    ///< "SPEC OMP" or "SPLASH-2"
+  std::string pattern;  ///< access-pattern class implemented by the stand-in
+};
+
+/// The paper's 20 benchmarks in Figure-2 order.
+const std::vector<WorkloadInfo>& AllWorkloads();
+
+/// Names only (Figure order).
+std::vector<std::string> BenchmarkNames();
+
+/// Builds the stand-in kernel for `name`. Each kernel is an IR program whose
+/// access-pattern class matches the original benchmark (stencils, blocked
+/// and triangular linear algebra, butterflies, neighbor-list n-body,
+/// tree/indirect traversals, DP wavefronts, image filters), sized by
+/// `scale` and seeded deterministically.
+ir::Program BuildWorkload(const std::string& name, Scale scale, std::uint64_t seed = 1);
+
+}  // namespace ndc::workloads

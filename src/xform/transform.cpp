@@ -1,0 +1,108 @@
+#include "xform/transform.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ndc::xform {
+
+bool IsLegalTransform(const ir::IntMat& T, const ir::IntMat& D) {
+  if (!T.IsUnimodular()) return false;
+  ir::IntMat TD = T.Multiply(D);
+  for (int c = 0; c < TD.cols(); ++c) {
+    ir::IntVec col(static_cast<std::size_t>(TD.rows()));
+    for (int r = 0; r < TD.rows(); ++r) col[static_cast<std::size_t>(r)] = TD.at(r, c);
+    if (!ir::LexPositive(col)) return false;
+  }
+  return true;
+}
+
+bool SolveForTransform(const std::vector<std::pair<ir::IntVec, ir::IntVec>>& pairs, int depth,
+                       ir::IntMat* T) {
+  // Each row r of T solves A * t_r = b_r where A's rows are the source
+  // iterations and b_r collects the r-th entries of the targets.
+  ir::IntMat A(static_cast<int>(pairs.size()), depth);
+  for (int k = 0; k < static_cast<int>(pairs.size()); ++k) {
+    for (int c = 0; c < depth; ++c) {
+      A.at(k, c) = pairs[static_cast<std::size_t>(k)].first[static_cast<std::size_t>(c)];
+    }
+  }
+  ir::IntMat result(depth, depth);
+  for (int r = 0; r < depth; ++r) {
+    ir::IntVec b(pairs.size());
+    for (std::size_t k = 0; k < pairs.size(); ++k) b[k] = pairs[k].second[static_cast<std::size_t>(r)];
+    ir::IntVec t_row;
+    if (!A.SolveInteger(b, &t_row)) return false;
+    for (int c = 0; c < depth; ++c) result.at(r, c) = t_row[static_cast<std::size_t>(c)];
+  }
+  if (!result.IsUnimodular()) {
+    // Try completing underdetermined rows toward the identity: add e_r to
+    // row r when that entry's column was free (zero row) and the fix keeps
+    // the constraints satisfied.
+    for (int r = 0; r < depth; ++r) {
+      bool zero_row = true;
+      for (int c = 0; c < depth; ++c) zero_row &= result.at(r, c) == 0;
+      if (!zero_row) continue;
+      result.at(r, r) = 1;
+      for (const auto& [src, dst] : pairs) {
+        if (src[static_cast<std::size_t>(r)] != dst[static_cast<std::size_t>(r)]) {
+          // Adding identity on this row breaks a constraint; give up on it.
+          result.at(r, r) = 0;
+          break;
+        }
+      }
+    }
+  }
+  if (!result.IsUnimodular()) return false;
+  *T = std::move(result);
+  return true;
+}
+
+std::vector<ir::IntMat> CandidateTransforms(int depth, ir::Int max_skew) {
+  std::vector<ir::IntMat> out;
+  // All permutation matrices.
+  std::vector<int> perm(static_cast<std::size_t>(depth));
+  for (int i = 0; i < depth; ++i) perm[static_cast<std::size_t>(i)] = i;
+  std::vector<ir::IntMat> perms;
+  do {
+    ir::IntMat p(depth, depth);
+    for (int r = 0; r < depth; ++r) p.at(r, perm[static_cast<std::size_t>(r)]) = 1;
+    perms.push_back(p);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  // Skews.
+  std::vector<ir::IntMat> skews;
+  skews.push_back(ir::IntMat::Identity(depth));
+  for (int i = 0; i < depth; ++i) {
+    for (int j = 0; j < depth; ++j) {
+      if (i == j) continue;
+      for (ir::Int s = -max_skew; s <= max_skew; ++s) {
+        if (s == 0) continue;
+        ir::IntMat m = ir::IntMat::Identity(depth);
+        m.at(i, j) = s;
+        skews.push_back(m);
+      }
+    }
+  }
+  for (const ir::IntMat& p : perms) {
+    for (const ir::IntMat& s : skews) {
+      out.push_back(s.Multiply(p));
+    }
+  }
+  return out;
+}
+
+ir::IntMat FindTransform(const ir::IntMat& D, int depth,
+                         const std::function<double(const ir::IntMat&)>& objective) {
+  ir::IntMat best = ir::IntMat::Identity(depth);
+  double best_obj = objective(best);
+  for (const ir::IntMat& t : CandidateTransforms(depth)) {
+    if (!IsLegalTransform(t, D)) continue;
+    double obj = objective(t);
+    if (obj < best_obj) {
+      best_obj = obj;
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace ndc::xform

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "ir/matrix.hpp"
+
+namespace ndc::xform {
+
+/// Legality of a loop transformation T against dependence matrix D
+/// (Section 5.2.1 / [Wolfe]): every column of T*D must be lexicographically
+/// positive. An empty D is always legal.
+bool IsLegalTransform(const ir::IntMat& T, const ir::IntMat& D);
+
+/// The paper's constraint solve: find a unimodular integer T satisfying
+/// T * I_k = I'_k for each given (iteration, target-iteration) pair.
+/// Free entries are chosen to complete T to the identity pattern where
+/// possible. Returns false if no such unimodular T exists (within the
+/// row-wise exact solve).
+bool SolveForTransform(const std::vector<std::pair<ir::IntVec, ir::IntVec>>& pairs, int depth,
+                       ir::IntMat* T);
+
+/// Generator family searched by FindTransform: the identity, all loop
+/// permutations, and single skews T = I + s*E_ij (|s| <= max_skew, i != j),
+/// plus permutation-then-skew compositions.
+std::vector<ir::IntMat> CandidateTransforms(int depth, ir::Int max_skew = 2);
+
+/// Smallest-objective legal transform from the candidate family. Returns
+/// identity if nothing legal beats it. `objective`: lower is better.
+ir::IntMat FindTransform(const ir::IntMat& D, int depth,
+                         const std::function<double(const ir::IntMat&)>& objective);
+
+}  // namespace ndc::xform

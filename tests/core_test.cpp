@@ -1,0 +1,224 @@
+// Tests for the core model: in-order dispatch at issue width, dataflow
+// completion (computes don't block later independent instructions),
+// the outstanding-load cap, store/compute dependence resolution, and
+// external (NDC) completion.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "arch/core.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ndc::arch {
+namespace {
+
+// A scriptable memory port: loads complete after a fixed or per-address
+// latency; records issue order.
+class FakePort : public MemoryPort {
+ public:
+  explicit FakePort(sim::EventQueue& eq) : eq_(eq) {}
+
+  void IssueLoad(sim::NodeId, std::uint32_t idx, sim::Addr addr) override {
+    issued_loads.push_back({eq_.now(), idx});
+    sim::Cycle lat = latency;
+    auto it = per_addr_latency.find(addr);
+    if (it != per_addr_latency.end()) lat = it->second;
+    if (auto_complete) {
+      eq_.ScheduleAfter(lat, [this, idx] { core->Complete(idx, eq_.now()); });
+    }
+  }
+  void IssueStore(sim::NodeId, std::uint32_t idx, sim::Addr) override {
+    issued_stores.push_back({eq_.now(), idx});
+  }
+  void IssuePreCompute(sim::NodeId, std::uint32_t idx, const Instr&) override {
+    issued_precomputes.push_back({eq_.now(), idx});
+  }
+
+  sim::EventQueue& eq_;
+  Core* core = nullptr;
+  sim::Cycle latency = 50;
+  std::map<sim::Addr, sim::Cycle> per_addr_latency;
+  bool auto_complete = true;
+  std::vector<std::pair<sim::Cycle, std::uint32_t>> issued_loads;
+  std::vector<std::pair<sim::Cycle, std::uint32_t>> issued_stores;
+  std::vector<std::pair<sim::Cycle, std::uint32_t>> issued_precomputes;
+};
+
+struct CoreFixture : public ::testing::Test {
+  ArchConfig cfg;
+  sim::EventQueue eq;
+  FakePort port{eq};
+  std::unique_ptr<Core> core;
+
+  void Run(Trace t) {
+    core = std::make_unique<Core>(0, cfg, eq, port);
+    port.core = core.get();
+    core->SetTrace(std::move(t));
+    core->Start();
+    eq.RunUntilEmpty();
+  }
+};
+
+TEST_F(CoreFixture, IssueWidthLimitsDispatchRate) {
+  Trace t;
+  for (int i = 0; i < 8; ++i) t.push_back(MakeCompute(Op::kAdd, -1, -1, false));
+  Run(std::move(t));
+  EXPECT_TRUE(core->finished());
+  // 8 independent single-cycle computes at width 2: finishes around cycle 4.
+  EXPECT_LE(core->finish_cycle(), 6u);
+  EXPECT_GE(core->finish_cycle(), 4u);
+}
+
+TEST_F(CoreFixture, LoadsOverlapUpToTheCap) {
+  cfg.max_outstanding_loads = 4;
+  port.latency = 100;
+  Trace t;
+  for (int i = 0; i < 8; ++i) t.push_back(MakeLoad(static_cast<sim::Addr>(i) * 4096));
+  Run(std::move(t));
+  EXPECT_TRUE(core->finished());
+  // Two waves of 4 loads: ~200 cycles, not 800 (full overlap within waves).
+  EXPECT_LT(core->finish_cycle(), 230u);
+  EXPECT_GE(core->finish_cycle(), 200u);
+}
+
+TEST_F(CoreFixture, ComputeDoesNotBlockLaterLoads) {
+  port.latency = 100;
+  Trace t;
+  t.push_back(MakeLoad(0));                       // 0
+  t.push_back(MakeCompute(Op::kAdd, 0, -1, false));  // 1 waits on the load
+  t.push_back(MakeLoad(4096));                    // 2 must not wait for 1
+  Run(std::move(t));
+  ASSERT_EQ(port.issued_loads.size(), 2u);
+  // Both loads dispatched within the first couple of cycles.
+  EXPECT_LE(port.issued_loads[1].first, 2u);
+  EXPECT_GE(core->done_cycle(1), 100u);
+}
+
+TEST_F(CoreFixture, ComputeCompletesAtMaxOfDeps) {
+  port.per_addr_latency[0] = 40;
+  port.per_addr_latency[4096] = 90;
+  Trace t;
+  t.push_back(MakeLoad(0));
+  t.push_back(MakeLoad(4096));
+  t.push_back(MakeCompute(Op::kAdd, 0, 1, false));
+  Run(std::move(t));
+  EXPECT_EQ(core->done_cycle(2), core->done_cycle(1) + cfg.compute_latency);
+}
+
+TEST_F(CoreFixture, StoreWaitsForItsValue) {
+  port.latency = 60;
+  Trace t;
+  t.push_back(MakeLoad(0));
+  t.push_back(MakeCompute(Op::kAdd, 0, -1, false));
+  t.push_back(MakeStore(8192, 1));
+  Run(std::move(t));
+  ASSERT_EQ(port.issued_stores.size(), 1u);
+  EXPECT_GE(port.issued_stores[0].first, 60u);  // after the load returned
+}
+
+TEST_F(CoreFixture, IndirectLoadBlocksOnAddressDependence) {
+  port.per_addr_latency[0] = 70;  // index load
+  Trace t;
+  t.push_back(MakeLoad(0));         // index
+  t.push_back(MakeLoad(4096, 0));   // data: address depends on 0
+  Run(std::move(t));
+  ASSERT_EQ(port.issued_loads.size(), 2u);
+  EXPECT_GE(port.issued_loads[1].first, 70u);
+}
+
+TEST_F(CoreFixture, PreComputeDispatchesWithoutWaitingForLoads) {
+  port.latency = 200;
+  port.auto_complete = false;  // nothing ever completes on its own
+  Trace t;
+  t.push_back(MakeLoad(0));
+  t.push_back(MakeLoad(4096));
+  t.push_back(MakePreCompute(Op::kAdd, 0, 1, Loc::kCacheCtrl, 10));
+  core = std::make_unique<Core>(0, cfg, eq, port);
+  port.core = core.get();
+  core->SetTrace(std::move(t));
+  core->Start();
+  eq.RunUntilEmpty();
+  // The pre-compute dispatched even though the loads never completed.
+  ASSERT_EQ(port.issued_precomputes.size(), 1u);
+  EXPECT_LE(port.issued_precomputes[0].first, 2u);
+  EXPECT_FALSE(core->finished());
+  // The machine completes everything externally.
+  core->Complete(0, eq.now());
+  core->Complete(1, eq.now());
+  core->Complete(2, eq.now());
+  eq.RunUntilEmpty();
+  EXPECT_TRUE(core->finished());
+}
+
+TEST_F(CoreFixture, ExternalComputeIsNotSelfCompleted) {
+  port.latency = 10;
+  Trace t;
+  t.push_back(MakeLoad(0));
+  t.push_back(MakeLoad(4096));
+  t.push_back(MakeCompute(Op::kAdd, 0, 1, true));
+  core = std::make_unique<Core>(0, cfg, eq, port);
+  port.core = core.get();
+  core->SetTrace(std::move(t));
+  core->MarkExternal(2);
+  core->Start();
+  eq.RunUntilEmpty();
+  EXPECT_FALSE(core->finished());  // slot 2 awaits the machine
+  core->Complete(2, eq.now() + 5);
+  eq.RunUntilEmpty();
+  EXPECT_TRUE(core->finished());
+  EXPECT_EQ(core->done_cycle(2), core->finish_cycle());
+}
+
+TEST_F(CoreFixture, CompleteIsIdempotent) {
+  Trace t;
+  t.push_back(MakeLoad(0));
+  core = std::make_unique<Core>(0, cfg, eq, port);
+  port.core = core.get();
+  port.auto_complete = false;
+  core->SetTrace(std::move(t));
+  core->Start();
+  eq.RunUntilEmpty();
+  core->Complete(0, eq.now());
+  core->Complete(0, eq.now() + 99);  // must be ignored
+  eq.RunUntilEmpty();
+  EXPECT_TRUE(core->finished());
+  EXPECT_EQ(core->done_cycle(0), 0u + eq.now());
+}
+
+TEST_F(CoreFixture, EarlyCompletionBeforeDispatchIsHonored) {
+  // The machine may complete a slot before the core reaches it (an NDC
+  // result racing in-order dispatch).
+  port.latency = 5;
+  Trace t;
+  for (int i = 0; i < 40; ++i) t.push_back(MakeCompute(Op::kAdd, i ? i - 1 : -1, -1, false));
+  t.push_back(MakeCompute(Op::kAdd, 39, -1, false));  // 40
+  core = std::make_unique<Core>(0, cfg, eq, port);
+  port.core = core.get();
+  core->SetTrace(std::move(t));
+  core->MarkExternal(40);
+  core->Start();
+  core->Complete(40, 1);  // completes long before dispatch reaches slot 40
+  eq.RunUntilEmpty();
+  EXPECT_TRUE(core->finished());
+}
+
+TEST_F(CoreFixture, FinishCycleIsMaxCompletion) {
+  port.per_addr_latency[0] = 10;
+  port.per_addr_latency[4096] = 300;
+  Trace t;
+  t.push_back(MakeLoad(0));
+  t.push_back(MakeLoad(4096));
+  Run(std::move(t));
+  EXPECT_EQ(core->finish_cycle(), core->done_cycle(1));
+}
+
+TEST_F(CoreFixture, EmptyTraceFinishesImmediately) {
+  Run({});
+  EXPECT_TRUE(core->finished());
+  EXPECT_EQ(core->finish_cycle(), 0u);
+}
+
+}  // namespace
+}  // namespace ndc::arch

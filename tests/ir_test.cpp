@@ -1,0 +1,260 @@
+// Tests for the IR: integer matrix kit, loop nests, arrays, address
+// resolution (affine and indirect), and iteration enumeration.
+
+#include <gtest/gtest.h>
+
+#include "ir/matrix.hpp"
+#include "ir/program.hpp"
+#include "sim/rng.hpp"
+
+namespace ndc::ir {
+namespace {
+
+TEST(IntMat, IdentityApply) {
+  IntMat I = IntMat::Identity(3);
+  IntVec v{4, -2, 7};
+  EXPECT_EQ(I.Apply(v), v);
+}
+
+TEST(IntMat, ApplyMatchesHandComputation) {
+  IntMat m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.Apply({1, 0, 1}), (IntVec{4, 10}));
+}
+
+TEST(IntMat, MultiplyAssociatesWithApply) {
+  IntMat a(2, 2, {1, 1, 0, 1});
+  IntMat b(2, 2, {2, 0, 1, 1});
+  IntVec v{3, 5};
+  EXPECT_EQ(a.Multiply(b).Apply(v), a.Apply(b.Apply(v)));
+}
+
+TEST(IntMat, DeterminantBasics) {
+  EXPECT_EQ(IntMat::Identity(4).Determinant(), 1);
+  IntMat swap(2, 2, {0, 1, 1, 0});
+  EXPECT_EQ(swap.Determinant(), -1);
+  IntMat singular(2, 2, {2, 4, 1, 2});
+  EXPECT_EQ(singular.Determinant(), 0);
+  IntMat skew(2, 2, {1, 3, 0, 1});
+  EXPECT_EQ(skew.Determinant(), 1);
+}
+
+TEST(IntMat, DeterminantWithPivoting) {
+  IntMat m(3, 3, {0, 1, 0, 1, 0, 0, 0, 0, 1});
+  EXPECT_EQ(m.Determinant(), -1);
+}
+
+TEST(IntMat, UnimodularDetection) {
+  EXPECT_TRUE(IntMat::Identity(3).IsUnimodular());
+  IntMat skew(2, 2, {1, 2, 0, 1});
+  EXPECT_TRUE(skew.IsUnimodular());
+  IntMat scale(2, 2, {2, 0, 0, 1});
+  EXPECT_FALSE(scale.IsUnimodular());
+  IntMat rect(2, 3);
+  EXPECT_FALSE(rect.IsUnimodular());
+}
+
+TEST(IntMat, SolveIntegerSquare) {
+  IntMat m(2, 2, {1, 1, 0, 1});
+  IntVec x;
+  ASSERT_TRUE(m.SolveInteger({5, 2}, &x));
+  EXPECT_EQ(x, (IntVec{3, 2}));
+}
+
+TEST(IntMat, SolveIntegerDetectsNonIntegral) {
+  IntMat m(1, 1, {2});
+  IntVec x;
+  EXPECT_FALSE(m.SolveInteger({3}, &x));
+  ASSERT_TRUE(m.SolveInteger({4}, &x));
+  EXPECT_EQ(x, (IntVec{2}));
+}
+
+TEST(IntMat, SolveIntegerInconsistent) {
+  IntMat m(2, 1, {1, 1});
+  IntVec x;
+  EXPECT_FALSE(m.SolveInteger({1, 2}, &x));
+}
+
+TEST(IntMat, InverseUnimodularRoundTrip) {
+  IntMat t(3, 3, {1, 2, 0, 0, 1, 0, 1, 0, 1});
+  ASSERT_TRUE(t.IsUnimodular());
+  IntMat inv;
+  ASSERT_TRUE(t.InverseUnimodular(&inv));
+  EXPECT_EQ(t.Multiply(inv), IntMat::Identity(3));
+}
+
+// Property: products of elementary unimodular matrices stay unimodular and
+// invertible.
+TEST(IntMat, RandomUnimodularProductsProperty) {
+  sim::Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntMat t = IntMat::Identity(3);
+    for (int k = 0; k < 5; ++k) {
+      IntMat e = IntMat::Identity(3);
+      int i = static_cast<int>(rng.NextBelow(3));
+      int j = static_cast<int>(rng.NextBelow(3));
+      if (i == j) continue;
+      e.at(i, j) = rng.NextInRange(-2, 2);
+      t = t.Multiply(e);
+    }
+    ASSERT_TRUE(t.IsUnimodular());
+    IntMat inv;
+    ASSERT_TRUE(t.InverseUnimodular(&inv));
+    EXPECT_EQ(t.Multiply(inv), IntMat::Identity(3));
+  }
+}
+
+TEST(IntMat, RankComputation) {
+  EXPECT_EQ(IntMat::Identity(3).Rank(), 3);
+  IntMat flat(1, 3, {5, 1, 0});
+  EXPECT_EQ(flat.Rank(), 1);
+  IntMat dep(2, 2, {1, 2, 2, 4});
+  EXPECT_EQ(dep.Rank(), 1);
+}
+
+TEST(LexOrder, CompareAndPositive) {
+  EXPECT_LT(LexCompare({0, 1}, {1, -5}), 0);
+  EXPECT_EQ(LexCompare({2, 3}, {2, 3}), 0);
+  EXPECT_TRUE(LexPositive({0, 0, 1}));
+  EXPECT_FALSE(LexPositive({0, -1, 5}));
+  EXPECT_FALSE(LexPositive({0, 0, 0}));
+  EXPECT_TRUE(IsZero({0, 0}));
+  EXPECT_FALSE(IsZero({0, 1}));
+}
+
+TEST(Array, RowMajorAddressing) {
+  Program p;
+  int a = p.AddArray("A", {4, 8});
+  const Array& arr = p.array(a);
+  EXPECT_EQ(arr.AddrOf({0, 0}), arr.base);
+  EXPECT_EQ(arr.AddrOf({0, 1}) - arr.base, 8u);
+  EXPECT_EQ(arr.AddrOf({1, 0}) - arr.base, 64u);
+  EXPECT_EQ(arr.NumElems(), 32);
+}
+
+TEST(Array, PageAlignedAllocation) {
+  Program p;
+  p.AddArray("A", {3});
+  int b = p.AddArray("B", {5});
+  EXPECT_EQ(p.array(b).base % 4096, 0u);
+  EXPECT_GT(p.array(b).base, p.array(0).base);
+}
+
+TEST(LoopNest, RectangularEnumeration) {
+  LoopNest nest;
+  nest.loops = {{0, 2, -1, 0, -1, 0}, {0, 3, -1, 0, -1, 0}};
+  std::vector<IntVec> seen;
+  nest.ForEachIteration([&](const IntVec& i) { seen.push_back(i); });
+  EXPECT_EQ(seen.size(), 12u);
+  EXPECT_EQ(seen.front(), (IntVec{0, 0}));
+  EXPECT_EQ(seen.back(), (IntVec{2, 3}));
+  // Lexicographic order.
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LT(LexCompare(seen[i - 1], seen[i]), 0);
+  }
+  EXPECT_EQ(nest.NumIterations(), 12);
+}
+
+TEST(LoopNest, TriangularBounds) {
+  // i in [0,3], j in [0, i]: 1+2+3+4 = 10 iterations.
+  LoopNest nest;
+  nest.loops = {{0, 3, -1, 0, -1, 0}, {0, 0, -1, 0, 0, 1}};
+  EXPECT_EQ(nest.NumIterations(), 10);
+  nest.ForEachIteration([&](const IntVec& i) { EXPECT_LE(i[1], i[0]); });
+}
+
+TEST(LoopNest, DependentLowerBound) {
+  // k in [0,1], i in [k+1, 4]: trips 4 + 3 = 7.
+  LoopNest nest;
+  nest.loops = {{0, 1, -1, 0, -1, 0}, {1, 4, 0, 1, -1, 0}};
+  EXPECT_EQ(nest.NumIterations(), 7);
+  nest.ForEachIteration([&](const IntVec& i) { EXPECT_GT(i[1], i[0]); });
+}
+
+TEST(Program, ResolveAffineAddr) {
+  Program p;
+  int a = p.AddArray("A", {100});
+  AffineAccess acc;
+  acc.array = a;
+  acc.F = IntMat(1, 2, {10, 1});
+  acc.f = {3};
+  Operand op = Operand::Affine(acc);
+  auto addr = p.ResolveAddr(op, {2, 4});
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, p.array(a).base + 27 * 8);
+}
+
+TEST(Program, ResolveOutOfBoundsIsNull) {
+  Program p;
+  int a = p.AddArray("A", {10});
+  AffineAccess acc;
+  acc.array = a;
+  acc.F = IntMat(1, 1, {1});
+  acc.f = {0};
+  Operand op = Operand::Affine(acc);
+  EXPECT_TRUE(p.ResolveAddr(op, {9}).has_value());
+  EXPECT_FALSE(p.ResolveAddr(op, {10}).has_value());
+  EXPECT_FALSE(p.ResolveAddr(op, {-1}).has_value());
+}
+
+TEST(Program, ResolveIndirectAddr) {
+  Program p;
+  int idx = p.AddArray("idx", {4});
+  int tgt = p.AddArray("T", {100});
+  p.index_data[idx] = {7, 3, 99, 0};
+  AffineAccess acc;
+  acc.array = idx;
+  acc.F = IntMat(1, 1, {1});
+  acc.f = {0};
+  Operand op = Operand::Indirect(acc, tgt);
+  auto addr = p.ResolveAddr(op, {2});
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, p.array(tgt).base + 99 * 8);
+}
+
+TEST(Program, ResolveIndirectOutOfRangeIsNull) {
+  Program p;
+  int idx = p.AddArray("idx", {2});
+  int tgt = p.AddArray("T", {10});
+  p.index_data[idx] = {15, 3};  // 15 is out of T's range
+  AffineAccess acc;
+  acc.array = idx;
+  acc.F = IntMat(1, 1, {1});
+  acc.f = {0};
+  Operand op = Operand::Indirect(acc, tgt);
+  EXPECT_FALSE(p.ResolveAddr(op, {0}).has_value());
+  EXPECT_TRUE(p.ResolveAddr(op, {1}).has_value());
+}
+
+TEST(Program, NonMemoryOperandsResolveToNull) {
+  Program p;
+  EXPECT_FALSE(p.ResolveAddr(Operand::None(), {}).has_value());
+  EXPECT_FALSE(p.ResolveAddr(Operand::Scalar(), {}).has_value());
+}
+
+TEST(Program, StmtIdsAreUnique) {
+  Program p;
+  EXPECT_NE(p.NextStmtId(), p.NextStmtId());
+}
+
+TEST(Program, PrinterMentionsNdcAnnotation) {
+  Program p;
+  int a = p.AddArray("A", {10});
+  LoopNest nest;
+  nest.loops = {{0, 4, -1, 0, -1, 0}};
+  Stmt s;
+  s.id = p.NextStmtId();
+  AffineAccess acc;
+  acc.array = a;
+  acc.F = IntMat(1, 1, {1});
+  acc.f = {0};
+  s.rhs0 = Operand::Affine(acc);
+  s.rhs1 = Operand::Affine(acc);
+  s.ndc.offload = true;
+  s.ndc.planned = arch::Loc::kMemBank;
+  nest.body.push_back(s);
+  p.nests.push_back(nest);
+  EXPECT_NE(p.ToString().find("NDC @memory"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndc::ir

@@ -1,0 +1,327 @@
+// Integration tests for the full machine: memory hierarchy timing, NUCA
+// homing, NDC offload execution at each location kind, time-outs and
+// fallbacks, and the observation (quantification) mode of Section 4.
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hpp"
+#include "arch/trace.hpp"
+#include "ndc/machine.hpp"
+#include "ndc/policy.hpp"
+
+namespace ndc::runtime {
+namespace {
+
+using arch::ArchConfig;
+using arch::Instr;
+using arch::Loc;
+using arch::MakeCompute;
+using arch::MakeLoad;
+using arch::MakePreCompute;
+using arch::MakeStore;
+using arch::Op;
+using arch::Trace;
+
+// Two addresses with the same L2 home bank (node 0) but different L1 lines.
+constexpr sim::Addr kAddrA = 0;
+constexpr sim::Addr kAddrB = 256ull * 25;  // home = (B/256) % 25 = 0
+
+std::vector<Trace> Program(sim::NodeId core, Trace t, int num_cores = 25) {
+  std::vector<Trace> p(static_cast<std::size_t>(num_cores));
+  p[static_cast<std::size_t>(core)] = std::move(t);
+  return p;
+}
+
+TEST(Machine, SingleLoadMissTraversesHierarchy) {
+  ArchConfig cfg;
+  Machine m(cfg);
+  m.LoadProgram(Program(6, {MakeLoad(kAddrA)}));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.l1_misses, 1u);
+  EXPECT_EQ(r.l2_misses, 1u);
+  // L1 tag check + request to home + L2 access + MC round trip + responses.
+  EXPECT_GT(r.makespan, cfg.l2.access_latency + cfg.dram.row_miss_latency);
+  EXPECT_LT(r.makespan, 500u);
+}
+
+TEST(Machine, SecondAccessToSameLineHitsL1) {
+  ArchConfig cfg;
+  Machine m(cfg);
+  Trace t{MakeLoad(kAddrA), MakeLoad(kAddrA + 8)};
+  t[1].dep0 = 0;  // force ordering so the fill has landed
+  m.LoadProgram(Program(6, std::move(t)));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.l1_misses, 1u);
+  EXPECT_EQ(r.l1_hits, 1u);
+}
+
+TEST(Machine, L2HitIsFasterThanMemoryAccess) {
+  ArchConfig cfg;
+  // Two cores read the same L2 line; the second (delayed) gets an L2 hit.
+  Machine miss_machine(cfg);
+  miss_machine.LoadProgram(Program(6, {MakeLoad(kAddrA)}));
+  sim::Cycle miss_time = miss_machine.Run().makespan;
+
+  Machine m(cfg);
+  std::vector<Trace> p(25);
+  p[6] = {MakeLoad(kAddrA)};
+  // Core 7: long dependent chain, then read a different word of A's L2 line
+  // (different L1 line to avoid its own L1).
+  Trace t7;
+  t7.push_back(MakeCompute(Op::kAdd, -1, -1, false));
+  for (int i = 1; i < 400; ++i) t7.push_back(MakeCompute(Op::kAdd, i - 1, -1, false));
+  t7.push_back(MakeLoad(kAddrA + 64, 399));
+  p[7] = std::move(t7);
+  m.LoadProgram(std::move(p));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.l2_hits, 1u);
+  EXPECT_EQ(r.l2_misses, 1u);
+  // Core 7 issues its load at ~cycle 400 (serial 400-compute chain); the L2
+  // hit must finish well before a full memory access would have.
+  EXPECT_LT(r.makespan, 400 + miss_time);
+  EXPECT_GT(r.makespan, 400u);
+}
+
+TEST(Machine, StoreGeneratesWriteTraffic) {
+  ArchConfig cfg;
+  Machine m(cfg);
+  m.LoadProgram(Program(3, {MakeStore(0x12345)}));
+  RunResult r = m.Run();
+  EXPECT_GT(r.stats.Get("noc.packets"), 0u);
+}
+
+TEST(Machine, CandidateWithoutPolicyRunsConventionally) {
+  ArchConfig cfg;
+  Machine m(cfg);
+  Trace t{MakeLoad(kAddrA), MakeLoad(kAddrB), MakeCompute(Op::kAdd, 0, 1, true)};
+  m.LoadProgram(Program(6, std::move(t)));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.ndc_success, 0u);
+  EXPECT_EQ(r.offloads, 0u);
+  EXPECT_EQ(r.l1_misses, 2u);
+}
+
+TEST(Machine, AlwaysWaitPolicyPerformsNdc) {
+  ArchConfig cfg;
+  AlwaysWaitPolicy policy(cfg);
+  MachineOptions opts;
+  opts.policy = &policy;
+  Machine m(cfg, opts);
+  Trace t{MakeLoad(kAddrA), MakeLoad(kAddrB), MakeCompute(Op::kAdd, 0, 1, true)};
+  m.LoadProgram(Program(6, std::move(t)));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.candidates, 1u);
+  EXPECT_EQ(r.offloads, 1u);
+  EXPECT_EQ(r.ndc_success, 1u);
+  EXPECT_EQ(r.fallbacks, 0u);
+  // Responses were squashed before reaching the core: L1 must not contain
+  // the operand lines afterwards (the locality cost of NDC).
+  EXPECT_FALSE(m.l1(6).Contains(kAddrA));
+  EXPECT_FALSE(m.l1(6).Contains(kAddrB));
+}
+
+TEST(Machine, ControlRegisterRestrictsLocation) {
+  ArchConfig cfg;
+  cfg.control_register = arch::LocBit(Loc::kCacheCtrl);
+  AlwaysWaitPolicy policy(cfg);
+  MachineOptions opts;
+  opts.policy = &policy;
+  Machine m(cfg, opts);
+  Trace t{MakeLoad(kAddrA), MakeLoad(kAddrB), MakeCompute(Op::kAdd, 0, 1, true)};
+  m.LoadProgram(Program(6, std::move(t)));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.ndc_success, 1u);
+  EXPECT_EQ(r.ndc_at_loc[static_cast<std::size_t>(Loc::kCacheCtrl)], 1u);
+  EXPECT_EQ(r.ndc_at_loc[static_cast<std::size_t>(Loc::kLinkBuffer)], 0u);
+}
+
+TEST(Machine, LocalL1HitSkipsNdc) {
+  ArchConfig cfg;
+  AlwaysWaitPolicy policy(cfg);
+  MachineOptions opts;
+  opts.policy = &policy;
+  Machine m(cfg, opts);
+  Trace t;
+  t.push_back(MakeLoad(kAddrA));               // 0: warms L1 with A
+  t.push_back(MakeLoad(kAddrA + 8, 0));        // 1: ordered after fill
+  t.push_back(MakeLoad(kAddrB, 1));            // 2
+  t.push_back(MakeCompute(Op::kAdd, 1, 2, true));
+  m.LoadProgram(Program(6, std::move(t)));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.local_l1_skips, 1u);
+  EXPECT_EQ(r.offloads, 0u);
+}
+
+TEST(Machine, PreComputeExecutesAtPlannedL2Bank) {
+  ArchConfig cfg;
+  Machine m(cfg);
+  Trace t{MakeLoad(kAddrA), MakeLoad(kAddrB),
+          MakePreCompute(Op::kAdd, 0, 1, Loc::kCacheCtrl, 10000)};
+  m.LoadProgram(Program(6, std::move(t)));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.offloads, 1u);
+  EXPECT_EQ(r.ndc_success, 1u);
+  EXPECT_EQ(r.ndc_at_loc[static_cast<std::size_t>(Loc::kCacheCtrl)], 1u);
+}
+
+TEST(Machine, PreComputeShortTimeoutFallsBack) {
+  ArchConfig cfg;
+  Machine m(cfg);
+  std::vector<Trace> p(25);
+  // Core 7 warms the home L2 bank with A's line.
+  p[7] = {MakeLoad(kAddrA + 64)};
+  // Core 6 waits ~400 cycles, then loads A (L2 hit, data at the bank fast)
+  // and B (L2 miss, data at the bank ~130+ cycles later). The pre-compute's
+  // 3-cycle time-out register expires long before B arrives.
+  Trace t;
+  t.push_back(MakeCompute(Op::kAdd, -1, -1, false));
+  for (int i = 1; i < 400; ++i) t.push_back(MakeCompute(Op::kAdd, i - 1, -1, false));
+  t.push_back(MakeLoad(kAddrA, 399));  // 400
+  t.push_back(MakeLoad(kAddrB, 399));  // 401
+  t.push_back(MakePreCompute(Op::kAdd, 400, 401, Loc::kCacheCtrl, 3));
+  p[6] = std::move(t);
+  m.LoadProgram(std::move(p));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.offloads, 1u);
+  EXPECT_EQ(r.ndc_success, 0u);
+  EXPECT_EQ(r.fallbacks, 1u);
+  EXPECT_GT(r.stats.Get("ndc.abort.timeout") + r.stats.Get("ndc.abort.partner_done"), 0u);
+}
+
+TEST(Machine, PreComputeInfeasiblePlanFallsBack) {
+  ArchConfig cfg;
+  Machine m(cfg);
+  // Different home banks: L2 plan infeasible.
+  sim::Addr b = 256;  // home bank 1
+  Trace t{MakeLoad(kAddrA), MakeLoad(b),
+          MakePreCompute(Op::kAdd, 0, 1, Loc::kCacheCtrl, 10000)};
+  m.LoadProgram(Program(6, std::move(t)));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.ndc_success, 0u);
+  EXPECT_EQ(r.stats.Get("ndc.plan_infeasible"), 1u);
+  // The pre-compute still completes (conventional fallback).
+  EXPECT_EQ(r.stats.Get("run.incomplete_cores"), 0u);
+}
+
+TEST(Machine, RestrictOpsToAddSubBlocksMul) {
+  ArchConfig cfg;
+  cfg.restrict_ops_to_addsub = true;
+  AlwaysWaitPolicy policy(cfg);
+  MachineOptions opts;
+  opts.policy = &policy;
+  Machine m(cfg, opts);
+  Trace t{MakeLoad(kAddrA), MakeLoad(kAddrB), MakeCompute(Op::kMul, 0, 1, true)};
+  m.LoadProgram(Program(6, std::move(t)));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.offloads, 0u);
+}
+
+TEST(Machine, ObserveModeRecordsArrivalWindows) {
+  ArchConfig cfg;
+  MachineOptions opts;
+  opts.observe = true;
+  Machine m(cfg, opts);
+  Trace t{MakeLoad(kAddrA), MakeLoad(kAddrB), MakeCompute(Op::kAdd, 0, 1, true)};
+  m.LoadProgram(Program(6, std::move(t)));
+  RunResult r = m.Run();
+  ASSERT_NE(r.records, nullptr);
+  EXPECT_EQ(r.records->TotalInstances(), 1u);
+  const InstanceRecord* rec = r.records->Find(6, 2);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->a, kAddrA);
+  EXPECT_EQ(rec->b, kAddrB);
+  EXPECT_FALSE(rec->local_l1);
+  EXPECT_TRUE(rec->at(Loc::kCacheCtrl).feasible);
+  EXPECT_NE(rec->at(Loc::kCacheCtrl).Window(), sim::kNeverCycle);
+  EXPECT_NE(rec->conv_done, sim::kNeverCycle);
+  EXPECT_NE(rec->a_at_core, sim::kNeverCycle);
+  // Observation must not change behaviour: no offloads happened.
+  EXPECT_EQ(r.offloads, 0u);
+  EXPECT_EQ(r.ndc_success, 0u);
+}
+
+TEST(Machine, ObserveModeMatchesBaselineTiming) {
+  ArchConfig cfg;
+  Trace t{MakeLoad(kAddrA), MakeLoad(kAddrB), MakeCompute(Op::kAdd, 0, 1, true),
+          MakeStore(0x9999, 2)};
+  Machine base(cfg);
+  base.LoadProgram(Program(6, Trace(t)));
+  sim::Cycle base_time = base.Run().makespan;
+
+  MachineOptions opts;
+  opts.observe = true;
+  Machine obs(cfg, opts);
+  obs.LoadProgram(Program(6, Trace(t)));
+  EXPECT_EQ(obs.Run().makespan, base_time);
+}
+
+TEST(Machine, OraclePolicySkipsWhenOperandReused) {
+  ArchConfig cfg;
+  Trace t;
+  t.push_back(MakeLoad(kAddrA));                    // 0
+  t.push_back(MakeLoad(kAddrB));                    // 1
+  t.push_back(MakeCompute(Op::kAdd, 0, 1, true));   // 2 candidate
+  t.push_back(MakeLoad(kAddrA + 8, 2));             // 3 reuse of A's L1 line
+
+  MachineOptions obs_opts;
+  obs_opts.observe = true;
+  Machine obs(cfg, obs_opts);
+  obs.LoadProgram(Program(6, Trace(t)));
+  RunResult prof = obs.Run();
+  const InstanceRecord* rec = prof.records->Find(6, 2);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->operand_reused_later);
+
+  OraclePolicy oracle(cfg, *prof.records, /*reuse_aware=*/true);
+  MachineOptions run_opts;
+  run_opts.policy = &oracle;
+  Machine m(cfg, run_opts);
+  m.LoadProgram(Program(6, Trace(t)));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.offloads, 0u);  // oracle favors data locality over NDC
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  ArchConfig cfg;
+  AlwaysWaitPolicy p1(cfg), p2(cfg);
+  Trace t{MakeLoad(kAddrA), MakeLoad(kAddrB), MakeCompute(Op::kAdd, 0, 1, true),
+          MakeLoad(0x5000, 2), MakeStore(0x6000, 3)};
+  MachineOptions o1, o2;
+  o1.policy = &p1;
+  o2.policy = &p2;
+  Machine m1(cfg, o1), m2(cfg, o2);
+  m1.LoadProgram(Program(6, Trace(t)));
+  m2.LoadProgram(Program(6, Trace(t)));
+  RunResult r1 = m1.Run(), r2 = m2.Run();
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.events, r2.events);
+  EXPECT_EQ(r1.ndc_success, r2.ndc_success);
+}
+
+TEST(Machine, AllCoresFinish) {
+  ArchConfig cfg;
+  AlwaysWaitPolicy policy(cfg);
+  MachineOptions opts;
+  opts.policy = &policy;
+  Machine m(cfg, opts);
+  std::vector<Trace> p(25);
+  for (int c = 0; c < 25; ++c) {
+    Trace t;
+    for (int i = 0; i < 20; ++i) {
+      auto base = static_cast<sim::Addr>(c * 0x10000 + i * 640);
+      int l0 = static_cast<int>(t.size());
+      t.push_back(MakeLoad(base));
+      t.push_back(MakeLoad(base + 256ull * 25));
+      t.push_back(MakeCompute(Op::kAdd, l0, l0 + 1, true));
+      t.push_back(MakeStore(base + 0x800, l0 + 2));
+    }
+    p[static_cast<std::size_t>(c)] = std::move(t);
+  }
+  m.LoadProgram(std::move(p));
+  RunResult r = m.Run();
+  EXPECT_EQ(r.stats.Get("run.incomplete_cores"), 0u);
+  EXPECT_EQ(r.candidates, 500u);
+}
+
+}  // namespace
+}  // namespace ndc::runtime

@@ -1,0 +1,190 @@
+// Unit tests for the simulation kernel: event queue ordering, stats,
+// histograms, and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace ndc::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.ScheduleAt(10, [&] { order.push_back(2); });
+  eq.ScheduleAt(5, [&] { order.push_back(1); });
+  eq.ScheduleAt(20, [&] { order.push_back(3); });
+  eq.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, SameCycleEventsRunFifo) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eq.ScheduleAt(7, [&order, i] { order.push_back(i); });
+  }
+  eq.RunUntilEmpty();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue eq;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) eq.ScheduleAfter(3, chain);
+  };
+  eq.ScheduleAt(0, chain);
+  eq.RunUntilEmpty();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(eq.now(), 12u);
+}
+
+TEST(EventQueue, RunUntilLimitStopsEarly) {
+  EventQueue eq;
+  int fired = 0;
+  eq.ScheduleAt(5, [&] { ++fired; });
+  eq.ScheduleAt(50, [&] { ++fired; });
+  eq.RunUntilEmpty(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.Step());
+  eq.ScheduleAt(1, [] {});
+  EXPECT_TRUE(eq.Step());
+  EXPECT_FALSE(eq.Step());
+}
+
+TEST(BucketHistogram, PaperBucketsClassifyCorrectly) {
+  BucketHistogram h;  // 1, 10, 20, 50, 100, 500, 500+
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(10);
+  h.Add(11);
+  h.Add(20);
+  h.Add(50);
+  h.Add(100);
+  h.Add(500);
+  h.Add(501);
+  h.Add(kNeverCycle);  // "second operand never arrives" lands in 500+
+  EXPECT_EQ(h.count(0), 2u);  // <=1
+  EXPECT_EQ(h.count(1), 2u);  // (1,10]
+  EXPECT_EQ(h.count(2), 2u);  // (10,20]
+  EXPECT_EQ(h.count(3), 1u);  // (20,50]
+  EXPECT_EQ(h.count(4), 1u);  // (50,100]
+  EXPECT_EQ(h.count(5), 1u);  // (100,500]
+  EXPECT_EQ(h.count(6), 2u);  // 500+
+  EXPECT_EQ(h.total(), 11u);
+}
+
+TEST(BucketHistogram, CumulativeFractions) {
+  BucketHistogram h;
+  for (int i = 0; i < 50; ++i) h.Add(5);    // bucket 1
+  for (int i = 0; i < 50; ++i) h.Add(1000);  // overflow
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionAtEdge(10), 0.5);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(6), 1.0);
+}
+
+TEST(BucketHistogram, MergePreservesTotals) {
+  BucketHistogram a, b;
+  a.Add(5);
+  b.Add(600);
+  b.Add(15);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(1), 1u);
+  EXPECT_EQ(a.count(2), 1u);
+  EXPECT_EQ(a.count(6), 1u);
+}
+
+TEST(StatSet, AddAndGet) {
+  StatSet s;
+  s.Add("x");
+  s.Add("x", 4);
+  EXPECT_EQ(s.Get("x"), 5u);
+  EXPECT_EQ(s.Get("missing"), 0u);
+  EXPECT_TRUE(s.Has("x"));
+  EXPECT_FALSE(s.Has("missing"));
+}
+
+TEST(Accumulator, TracksMeanMinMax) {
+  Accumulator a;
+  a.Add(2.0);
+  a.Add(4.0);
+  a.Add(9.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(GeometricMean, MatchesHandComputation) {
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.NextBelow(17), 17u);
+}
+
+TEST(Rng, DoubleIsInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// Property: the RNG range helper covers its whole inclusive range.
+class RngRangeTest : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(RngRangeTest, StaysWithinBoundsAndHitsBoth) {
+  auto [lo, hi] = GetParam();
+  Rng r(static_cast<std::uint64_t>(lo * 31 + hi));
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    std::int64_t v = r.NextInRange(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    hit_lo |= v == lo;
+    hit_hi |= v == hi;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngRangeTest,
+                         ::testing::Values(std::pair<std::int64_t, std::int64_t>{0, 1},
+                                           std::pair<std::int64_t, std::int64_t>{-5, 5},
+                                           std::pair<std::int64_t, std::int64_t>{3, 17},
+                                           std::pair<std::int64_t, std::int64_t>{-100, -90}));
+
+}  // namespace
+}  // namespace ndc::sim

@@ -1,0 +1,145 @@
+// Tests for the loop-transformation machinery: legality (T*D columns
+// lexicographically positive), the paper's solve-for-T formulation, the
+// candidate generator, and the objective-driven search.
+
+#include <gtest/gtest.h>
+
+#include "xform/transform.hpp"
+
+namespace ndc::xform {
+namespace {
+
+using ir::IntMat;
+using ir::IntVec;
+
+IntMat DepMatrix(std::vector<IntVec> cols) {
+  int depth = static_cast<int>(cols[0].size());
+  IntMat d(depth, static_cast<int>(cols.size()));
+  for (int c = 0; c < d.cols(); ++c) {
+    for (int r = 0; r < depth; ++r) d.at(r, c) = cols[static_cast<std::size_t>(c)][static_cast<std::size_t>(r)];
+  }
+  return d;
+}
+
+TEST(Legality, IdentityIsAlwaysLegal) {
+  IntMat d = DepMatrix({{1, 0}, {0, 1}, {1, -1}});
+  EXPECT_TRUE(IsLegalTransform(IntMat::Identity(2), d));
+}
+
+TEST(Legality, EmptyDependenceMatrixAcceptsAnyUnimodular) {
+  IntMat d(2, 0);
+  IntMat interchange(2, 2, {0, 1, 1, 0});
+  EXPECT_TRUE(IsLegalTransform(interchange, d));
+}
+
+TEST(Legality, InterchangeIllegalForAntiDiagonalDep) {
+  // Dependence (1, -1): interchange maps it to (-1, 1), lex-negative.
+  IntMat d = DepMatrix({{1, -1}});
+  IntMat interchange(2, 2, {0, 1, 1, 0});
+  EXPECT_FALSE(IsLegalTransform(interchange, d));
+}
+
+TEST(Legality, SkewLegalizesWavefront) {
+  // Classic: deps (1,0) and (0,1); skew T = [[1,0],[1,1]] keeps both legal.
+  IntMat d = DepMatrix({{1, 0}, {0, 1}});
+  IntMat skew(2, 2, {1, 0, 1, 1});
+  EXPECT_TRUE(IsLegalTransform(skew, d));
+}
+
+TEST(Legality, NonUnimodularRejected) {
+  IntMat d(2, 0);
+  IntMat scale(2, 2, {2, 0, 0, 1});
+  EXPECT_FALSE(IsLegalTransform(scale, d));
+}
+
+TEST(SolveForT, RecoversIdentity) {
+  std::vector<std::pair<IntVec, IntVec>> pairs = {{{1, 0}, {1, 0}}, {{0, 1}, {0, 1}}};
+  IntMat t;
+  ASSERT_TRUE(SolveForTransform(pairs, 2, &t));
+  EXPECT_EQ(t, IntMat::Identity(2));
+}
+
+TEST(SolveForT, RecoversInterchange) {
+  std::vector<std::pair<IntVec, IntVec>> pairs = {{{1, 0}, {0, 1}}, {{0, 1}, {1, 0}}};
+  IntMat t;
+  ASSERT_TRUE(SolveForTransform(pairs, 2, &t));
+  EXPECT_EQ(t.Apply({1, 0}), (IntVec{0, 1}));
+  EXPECT_EQ(t.Apply({0, 1}), (IntVec{1, 0}));
+  EXPECT_TRUE(t.IsUnimodular());
+}
+
+TEST(SolveForT, RecoversSkewFromConstraints) {
+  // T maps (1,0)->(1,1) and (0,1)->(0,1): the skew [[1,0],[1,1]].
+  std::vector<std::pair<IntVec, IntVec>> pairs = {{{1, 0}, {1, 1}}, {{0, 1}, {0, 1}}};
+  IntMat t;
+  ASSERT_TRUE(SolveForTransform(pairs, 2, &t));
+  EXPECT_EQ(t, IntMat(2, 2, {1, 0, 1, 1}));
+}
+
+TEST(SolveForT, UnderdeterminedCompletesToUnimodular) {
+  // One constraint in 2-D: free row completed toward the identity.
+  std::vector<std::pair<IntVec, IntVec>> pairs = {{{1, 0}, {1, 0}}};
+  IntMat t;
+  ASSERT_TRUE(SolveForTransform(pairs, 2, &t));
+  EXPECT_TRUE(t.IsUnimodular());
+  EXPECT_EQ(t.Apply({1, 0}), (IntVec{1, 0}));
+}
+
+TEST(SolveForT, RejectsNonUnimodularRequirement) {
+  // (1,0)->(2,0) and (0,1)->(0,1) forces det 2.
+  std::vector<std::pair<IntVec, IntVec>> pairs = {{{1, 0}, {2, 0}}, {{0, 1}, {0, 1}}};
+  IntMat t;
+  EXPECT_FALSE(SolveForTransform(pairs, 2, &t));
+}
+
+TEST(Candidates, AllUnimodularProperty) {
+  for (int depth : {2, 3}) {
+    auto cands = CandidateTransforms(depth);
+    EXPECT_GT(cands.size(), 10u);
+    for (const IntMat& t : cands) {
+      ASSERT_TRUE(t.IsUnimodular()) << t.ToString();
+    }
+  }
+}
+
+TEST(Candidates, ContainIdentityAndInterchange) {
+  auto cands = CandidateTransforms(2);
+  bool id = false, inter = false;
+  for (const IntMat& t : cands) {
+    if (t == IntMat::Identity(2)) id = true;
+    if (t == IntMat(2, 2, {0, 1, 1, 0})) inter = true;
+  }
+  EXPECT_TRUE(id);
+  EXPECT_TRUE(inter);
+}
+
+TEST(FindTransform, PicksLegalMinimizer) {
+  // Objective rewards interchange, but the (1,-1) dependence forbids it:
+  // the search must settle for something legal.
+  IntMat d = DepMatrix({{1, -1}});
+  IntMat best = FindTransform(d, 2, [](const IntMat& t) {
+    return t == IntMat(2, 2, {0, 1, 1, 0}) ? 0.0 : 1.0;
+  });
+  EXPECT_TRUE(IsLegalTransform(best, d));
+  EXPECT_NE(best, IntMat(2, 2, {0, 1, 1, 0}));
+}
+
+TEST(FindTransform, ReturnsIdentityWhenNothingBeatsIt) {
+  IntMat d = DepMatrix({{1, 0}});
+  IntMat best = FindTransform(d, 2, [](const IntMat& t) {
+    return t == IntMat::Identity(2) ? 0.0 : 1.0;
+  });
+  EXPECT_EQ(best, IntMat::Identity(2));
+}
+
+TEST(FindTransform, HonorsObjectiveAmongLegal) {
+  IntMat d(2, 0);  // everything legal
+  IntMat want(2, 2, {1, 2, 0, 1});
+  IntMat best = FindTransform(d, 2, [&](const IntMat& t) {
+    return t == want ? -1.0 : 1.0;
+  });
+  EXPECT_EQ(best, want);
+}
+
+}  // namespace
+}  // namespace ndc::xform
