@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reroute_and_granularity.dir/abl_reroute_and_granularity.cpp.o"
+  "CMakeFiles/abl_reroute_and_granularity.dir/abl_reroute_and_granularity.cpp.o.d"
+  "abl_reroute_and_granularity"
+  "abl_reroute_and_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reroute_and_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

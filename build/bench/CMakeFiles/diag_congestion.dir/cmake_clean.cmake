@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_congestion.dir/diag_congestion.cpp.o"
+  "CMakeFiles/diag_congestion.dir/diag_congestion.cpp.o.d"
+  "diag_congestion"
+  "diag_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_decompose.dir/diag_decompose.cpp.o"
+  "CMakeFiles/diag_decompose.dir/diag_decompose.cpp.o.d"
+  "diag_decompose"
+  "diag_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_observation.dir/diag_observation.cpp.o"
+  "CMakeFiles/diag_observation.dir/diag_observation.cpp.o.d"
+  "diag_observation"
+  "diag_observation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_observation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_oracle.dir/diag_oracle.cpp.o"
+  "CMakeFiles/diag_oracle.dir/diag_oracle.cpp.o.d"
+  "diag_oracle"
+  "diag_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_records.dir/export_records.cpp.o"
+  "CMakeFiles/export_records.dir/export_records.cpp.o.d"
+  "export_records"
+  "export_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

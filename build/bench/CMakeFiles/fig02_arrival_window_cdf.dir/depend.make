@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_arrival_window_cdf.
+# This may be replaced when dependencies are built.

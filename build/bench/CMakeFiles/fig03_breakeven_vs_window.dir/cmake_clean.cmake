@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_breakeven_vs_window.dir/fig03_breakeven_vs_window.cpp.o"
+  "CMakeFiles/fig03_breakeven_vs_window.dir/fig03_breakeven_vs_window.cpp.o.d"
+  "fig03_breakeven_vs_window"
+  "fig03_breakeven_vs_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_breakeven_vs_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_oracle_location_breakdown.dir/fig06_oracle_location_breakdown.cpp.o"
+  "CMakeFiles/fig06_oracle_location_breakdown.dir/fig06_oracle_location_breakdown.cpp.o.d"
+  "fig06_oracle_location_breakdown"
+  "fig06_oracle_location_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_oracle_location_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

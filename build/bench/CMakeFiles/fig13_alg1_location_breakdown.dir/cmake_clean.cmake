@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_alg1_location_breakdown.dir/fig13_alg1_location_breakdown.cpp.o"
+  "CMakeFiles/fig13_alg1_location_breakdown.dir/fig13_alg1_location_breakdown.cpp.o.d"
+  "fig13_alg1_location_breakdown"
+  "fig13_alg1_location_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_alg1_location_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

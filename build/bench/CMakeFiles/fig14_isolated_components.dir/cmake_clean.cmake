@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_isolated_components.dir/fig14_isolated_components.cpp.o"
+  "CMakeFiles/fig14_isolated_components.dir/fig14_isolated_components.cpp.o.d"
+  "fig14_isolated_components"
+  "fig14_isolated_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_isolated_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

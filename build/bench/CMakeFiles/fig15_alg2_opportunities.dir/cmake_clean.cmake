@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_alg2_opportunities.dir/fig15_alg2_opportunities.cpp.o"
+  "CMakeFiles/fig15_alg2_opportunities.dir/fig15_alg2_opportunities.cpp.o.d"
+  "fig15_alg2_opportunities"
+  "fig15_alg2_opportunities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_alg2_opportunities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

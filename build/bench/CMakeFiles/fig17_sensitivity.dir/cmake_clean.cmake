@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_sensitivity.dir/fig17_sensitivity.cpp.o"
+  "CMakeFiles/fig17_sensitivity.dir/fig17_sensitivity.cpp.o.d"
+  "fig17_sensitivity"
+  "fig17_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_cme_accuracy.dir/tab02_cme_accuracy.cpp.o"
+  "CMakeFiles/tab02_cme_accuracy.dir/tab02_cme_accuracy.cpp.o.d"
+  "tab02_cme_accuracy"
+  "tab02_cme_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_cme_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_compile.dir/inspect_compile.cpp.o"
+  "CMakeFiles/inspect_compile.dir/inspect_compile.cpp.o.d"
+  "inspect_compile"
+  "inspect_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

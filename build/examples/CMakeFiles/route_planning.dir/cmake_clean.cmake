@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_planning.dir/route_planning.cpp.o"
+  "CMakeFiles/route_planning.dir/route_planning.cpp.o.d"
+  "route_planning"
+  "route_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cme.cpp" "src/CMakeFiles/ndc_analysis.dir/analysis/cme.cpp.o" "gcc" "src/CMakeFiles/ndc_analysis.dir/analysis/cme.cpp.o.d"
+  "/root/repo/src/analysis/dependence.cpp" "src/CMakeFiles/ndc_analysis.dir/analysis/dependence.cpp.o" "gcc" "src/CMakeFiles/ndc_analysis.dir/analysis/dependence.cpp.o.d"
+  "/root/repo/src/analysis/reuse.cpp" "src/CMakeFiles/ndc_analysis.dir/analysis/reuse.cpp.o" "gcc" "src/CMakeFiles/ndc_analysis.dir/analysis/reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndc_analysis.dir/analysis/cme.cpp.o"
+  "CMakeFiles/ndc_analysis.dir/analysis/cme.cpp.o.d"
+  "CMakeFiles/ndc_analysis.dir/analysis/dependence.cpp.o"
+  "CMakeFiles/ndc_analysis.dir/analysis/dependence.cpp.o.d"
+  "CMakeFiles/ndc_analysis.dir/analysis/reuse.cpp.o"
+  "CMakeFiles/ndc_analysis.dir/analysis/reuse.cpp.o.d"
+  "libndc_analysis.a"
+  "libndc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

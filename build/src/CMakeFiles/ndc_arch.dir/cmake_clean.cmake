@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndc_arch.dir/arch/core.cpp.o"
+  "CMakeFiles/ndc_arch.dir/arch/core.cpp.o.d"
+  "libndc_arch.a"
+  "libndc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/codegen.cpp" "src/CMakeFiles/ndc_compiler.dir/compiler/codegen.cpp.o" "gcc" "src/CMakeFiles/ndc_compiler.dir/compiler/codegen.cpp.o.d"
+  "/root/repo/src/compiler/pipeline.cpp" "src/CMakeFiles/ndc_compiler.dir/compiler/pipeline.cpp.o" "gcc" "src/CMakeFiles/ndc_compiler.dir/compiler/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndc_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndc_ndc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

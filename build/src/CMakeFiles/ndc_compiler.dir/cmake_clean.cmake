@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndc_compiler.dir/compiler/codegen.cpp.o"
+  "CMakeFiles/ndc_compiler.dir/compiler/codegen.cpp.o.d"
+  "CMakeFiles/ndc_compiler.dir/compiler/pipeline.cpp.o"
+  "CMakeFiles/ndc_compiler.dir/compiler/pipeline.cpp.o.d"
+  "libndc_compiler.a"
+  "libndc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndc_ir.dir/ir/matrix.cpp.o"
+  "CMakeFiles/ndc_ir.dir/ir/matrix.cpp.o.d"
+  "CMakeFiles/ndc_ir.dir/ir/program.cpp.o"
+  "CMakeFiles/ndc_ir.dir/ir/program.cpp.o.d"
+  "libndc_ir.a"
+  "libndc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

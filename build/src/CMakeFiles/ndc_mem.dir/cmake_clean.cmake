@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndc_mem.dir/mem/cache.cpp.o"
+  "CMakeFiles/ndc_mem.dir/mem/cache.cpp.o.d"
+  "CMakeFiles/ndc_mem.dir/mem/dram.cpp.o"
+  "CMakeFiles/ndc_mem.dir/mem/dram.cpp.o.d"
+  "CMakeFiles/ndc_mem.dir/mem/memctrl.cpp.o"
+  "CMakeFiles/ndc_mem.dir/mem/memctrl.cpp.o.d"
+  "libndc_mem.a"
+  "libndc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndc_metrics.dir/metrics/experiment.cpp.o"
+  "CMakeFiles/ndc_metrics.dir/metrics/experiment.cpp.o.d"
+  "libndc_metrics.a"
+  "libndc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libndc_metrics.a"
+)

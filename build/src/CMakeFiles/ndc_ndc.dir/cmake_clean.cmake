@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndc_ndc.dir/ndc/machine.cpp.o"
+  "CMakeFiles/ndc_ndc.dir/ndc/machine.cpp.o.d"
+  "CMakeFiles/ndc_ndc.dir/ndc/policy.cpp.o"
+  "CMakeFiles/ndc_ndc.dir/ndc/policy.cpp.o.d"
+  "CMakeFiles/ndc_ndc.dir/ndc/record.cpp.o"
+  "CMakeFiles/ndc_ndc.dir/ndc/record.cpp.o.d"
+  "libndc_ndc.a"
+  "libndc_ndc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndc_ndc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

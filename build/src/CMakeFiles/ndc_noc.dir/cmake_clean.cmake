@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndc_noc.dir/noc/network.cpp.o"
+  "CMakeFiles/ndc_noc.dir/noc/network.cpp.o.d"
+  "CMakeFiles/ndc_noc.dir/noc/routing.cpp.o"
+  "CMakeFiles/ndc_noc.dir/noc/routing.cpp.o.d"
+  "CMakeFiles/ndc_noc.dir/noc/signature.cpp.o"
+  "CMakeFiles/ndc_noc.dir/noc/signature.cpp.o.d"
+  "libndc_noc.a"
+  "libndc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndc_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/ndc_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/ndc_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/ndc_sim.dir/sim/stats.cpp.o.d"
+  "libndc_sim.a"
+  "libndc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

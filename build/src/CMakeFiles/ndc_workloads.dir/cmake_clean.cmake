@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndc_workloads.dir/workloads/workloads.cpp.o"
+  "CMakeFiles/ndc_workloads.dir/workloads/workloads.cpp.o.d"
+  "libndc_workloads.a"
+  "libndc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndc_xform.dir/xform/transform.cpp.o"
+  "CMakeFiles/ndc_xform.dir/xform/transform.cpp.o.d"
+  "libndc_xform.a"
+  "libndc_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndc_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

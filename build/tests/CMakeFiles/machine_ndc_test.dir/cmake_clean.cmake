@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_ndc_test.dir/machine_ndc_test.cpp.o"
+  "CMakeFiles/machine_ndc_test.dir/machine_ndc_test.cpp.o.d"
+  "machine_ndc_test"
+  "machine_ndc_test.pdb"
+  "machine_ndc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_ndc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xform_test.dir/xform_test.cpp.o"
+  "CMakeFiles/xform_test.dir/xform_test.cpp.o.d"
+  "xform_test"
+  "xform_test.pdb"
+  "xform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
