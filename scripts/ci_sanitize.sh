@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds and runs the full test suite (plus ndc-lint, which is registered
+# with ctest) under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: scripts/ci_sanitize.sh [build-dir]   (default: build-sanitize)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNDC_SANITIZE=ON \
+  -DNDC_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes ASan/UBSan findings fail the ctest run instead of
+# printing and continuing.
+export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -10,6 +10,7 @@
 #include "analysis/reuse.hpp"
 #include "analysis/use_use.hpp"
 #include "compiler/codegen.hpp"
+#include "verify/verify.hpp"
 #include "xform/transform.hpp"
 
 namespace ndc::compiler {
@@ -166,9 +167,26 @@ int OperandArray(const ir::Operand& op) {
 
 }  // namespace
 
+namespace {
+
+// Post-pass audit (CompileOptions::verify_after): re-checks the annotated
+// program with the independent verifier, mirroring the pipeline's own
+// annotation limits.
+void RunVerifier(const ir::Program& prog, const CompileOptions& opt, CompileReport* rep) {
+  verify::VerifyOptions vo;
+  vo.max_lead = opt.max_lead;
+  vo.control_register = opt.control_register;
+  rep->verify = verify::VerifyProgram(prog, vo);
+}
+
+}  // namespace
+
 CompileReport Compile(ir::Program& prog, const ArchDescription& ad, const CompileOptions& opt) {
   CompileReport rep;
-  if (opt.mode == Mode::kBaseline) return rep;
+  if (opt.mode == Mode::kBaseline) {
+    if (opt.verify_after) RunVerifier(prog, opt, &rep);
+    return rep;
+  }
   int num_cores = ad.cfg().num_nodes();
   analysis::CacheSpec l1 = analysis::CacheSpec::From(ad.cfg().l1);
   analysis::CacheSpec l2 = analysis::CacheSpec::From(ad.cfg().l2);
@@ -369,6 +387,7 @@ CompileReport Compile(ir::Program& prog, const ArchDescription& ad, const Compil
       }
     }
   }
+  if (opt.verify_after) RunVerifier(prog, opt, &rep);
   return rep;
 }
 

@@ -6,6 +6,7 @@
 
 #include "compiler/arch_desc.hpp"
 #include "ir/program.hpp"
+#include "verify/diagnostics.hpp"
 
 namespace ndc::compiler {
 
@@ -36,6 +37,11 @@ struct CompileOptions {
   double miss_gate = 0.5;              ///< min CME miss probability to offload
   ir::Int max_lead = 64;               ///< cap on access movement (iterations)
   int samples_per_chain = 32;          ///< iteration samples for the cost model
+  /// Run the independent verifier (src/verify) over the annotated program
+  /// after the pass and attach its findings to the report. On by default:
+  /// a pipeline bug that emits an illegal transform or an unsafe access
+  /// movement is a correctness error everywhere, not just in tests.
+  bool verify_after = true;
 };
 
 /// What the compiler did (for reports, tests, and Figure 15).
@@ -47,6 +53,8 @@ struct CompileReport {
   std::uint64_t gating_failures = 0;   ///< rejected by CME / feasibility
   std::uint64_t transforms = 0;        ///< nests given a schedule transform
   std::array<std::uint64_t, arch::kNumLocs> planned_at_loc{};
+  /// Post-pass audit findings (populated when CompileOptions::verify_after).
+  verify::Report verify;
 
   double PlannedFraction() const {
     return chains == 0 ? 0.0 : static_cast<double>(planned) / static_cast<double>(chains);

@@ -1,0 +1,461 @@
+// Tests for the diagnostics subsystem (src/verify): the structured
+// diagnostics engine, the IR validator, the legality auditor (which must
+// flag deliberately injected illegal transforms and unsafe leads), the
+// parallel-loop race detector, and the Compile() verify_after hook.
+
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hpp"
+#include "verify/verify.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ndc::verify {
+namespace {
+
+using ir::Int;
+using ir::IntMat;
+using ir::IntVec;
+using ir::Operand;
+
+// --- helpers -------------------------------------------------------------
+
+// A clean depth-2 program: B(i,j) = A(i,j) + A(i,j) over [0,n) x [0,n).
+ir::Program CleanProgram(Int n = 8) {
+  ir::Program p;
+  p.name = "clean";
+  int a = p.AddArray("A", {n, n});
+  int b = p.AddArray("B", {n, n});
+  ir::LoopNest nest;
+  nest.loops = {{0, n - 1, -1, 0, -1, 0}, {0, n - 1, -1, 0, -1, 0}};
+  ir::Stmt st;
+  st.id = p.NextStmtId();
+  ir::AffineAccess acc;
+  acc.array = a;
+  acc.F = IntMat(2, 2, {1, 0, 0, 1});
+  acc.f = {0, 0};
+  st.rhs0 = Operand::Affine(acc);
+  st.rhs1 = Operand::Affine(acc);
+  ir::AffineAccess out = acc;
+  out.array = b;
+  st.lhs = Operand::Affine(out);
+  nest.body.push_back(st);
+  p.nests.push_back(std::move(nest));
+  return p;
+}
+
+// A program with a flow dependence of distance (0,1) on A:
+//   A(i, j+1) = A(i, j) + B(i, j)   for j in [0, n-2]
+ir::Program FlowDepProgram(Int n = 8) {
+  ir::Program p;
+  p.name = "flowdep";
+  int a = p.AddArray("A", {n, n});
+  int b = p.AddArray("B", {n, n});
+  ir::LoopNest nest;
+  nest.loops = {{0, n - 1, -1, 0, -1, 0}, {0, n - 2, -1, 0, -1, 0}};
+  ir::Stmt st;
+  st.id = p.NextStmtId();
+  ir::AffineAccess rd;
+  rd.array = a;
+  rd.F = IntMat(2, 2, {1, 0, 0, 1});
+  rd.f = {0, 0};
+  ir::AffineAccess rd2 = rd;
+  rd2.array = b;
+  ir::AffineAccess wr = rd;
+  wr.f = {0, 1};
+  st.rhs0 = Operand::Affine(rd);
+  st.rhs1 = Operand::Affine(rd2);
+  st.lhs = Operand::Affine(wr);
+  nest.body.push_back(st);
+  p.nests.push_back(std::move(nest));
+  return p;
+}
+
+int CountCode(const Report& r, Code c) {
+  int n = 0;
+  for (const Diagnostic& d : r.diags) n += d.code == c;
+  return n;
+}
+
+// --- diagnostics engine --------------------------------------------------
+
+TEST(Diagnostics, CountsAndCleanliness) {
+  Report r;
+  EXPECT_TRUE(r.Clean());
+  r.Add(Severity::kNote, Code::kEmptyNest, "n");
+  r.Add(Severity::kWarning, Code::kSubscriptOutOfBounds, "w");
+  EXPECT_TRUE(r.Clean());
+  r.Add(Severity::kError, Code::kUnsafeLead, "e");
+  EXPECT_FALSE(r.Clean());
+  EXPECT_EQ(r.ErrorCount(), 1);
+  EXPECT_EQ(r.WarningCount(), 1);
+  EXPECT_EQ(r.Count(Severity::kNote), 1);
+}
+
+TEST(Diagnostics, TextRenderingCarriesLocationAndCode) {
+  Report r;
+  r.Add(Severity::kError, Code::kIllegalTransform, "bad T", 3, 1, 42, 7);
+  std::string text = r.ToText();
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("L201"), std::string::npos);  // legality codes render as L2xx
+  EXPECT_NE(text.find("illegal-transform"), std::string::npos);
+  EXPECT_NE(text.find("nest 3"), std::string::npos);
+  EXPECT_NE(text.find("stmt 1"), std::string::npos);
+  EXPECT_NE(text.find("S42"), std::string::npos);
+  EXPECT_NE(text.find("array 7"), std::string::npos);
+  EXPECT_NE(text.find("bad T"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonRenderingIsWellFormed) {
+  Report r;
+  EXPECT_EQ(r.ToJson(), "[]");
+  r.Add(Severity::kWarning, Code::kSubscriptOutOfBounds, "quote \" and \\ backslash", 0,
+        2, 9, 1);
+  r.Add(Severity::kError, Code::kUnsafeLead, "second", 1);
+  std::string js = r.ToJson();
+  EXPECT_EQ(js.front(), '[');
+  EXPECT_EQ(js.back(), ']');
+  EXPECT_NE(js.find("\"code\": 105"), std::string::npos);
+  EXPECT_NE(js.find("\"code\": 203"), std::string::npos);
+  EXPECT_NE(js.find("\\\""), std::string::npos);   // escaped quote
+  EXPECT_NE(js.find("\\\\"), std::string::npos);   // escaped backslash
+}
+
+TEST(Diagnostics, MergeConcatenates) {
+  Report a, b;
+  a.Add(Severity::kError, Code::kUnsafeLead, "x");
+  b.Add(Severity::kWarning, Code::kEmptyNest, "y");
+  a.Merge(b);
+  EXPECT_EQ(a.diags.size(), 2u);
+}
+
+// --- IR validator --------------------------------------------------------
+
+TEST(Validator, CleanProgramHasNoFindings) {
+  ir::Program p = CleanProgram();
+  Report r = VerifyProgram(p);
+  EXPECT_TRUE(r.Clean()) << r.ToText();
+  EXPECT_EQ(r.diags.size(), 0u) << r.ToText();
+}
+
+TEST(Validator, FlagsInvalidArrayId) {
+  ir::Program p = CleanProgram();
+  p.nests[0].body[0].rhs0.access.array = 99;
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kBadArrayRef), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(Validator, FlagsShapeMismatch) {
+  ir::Program p = CleanProgram();
+  // F with the wrong number of columns for a depth-2 nest.
+  p.nests[0].body[0].rhs0.access.F = IntMat(2, 3, {1, 0, 0, 0, 1, 0});
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kShapeMismatch), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(Validator, BoundaryOverrunIsAWarningNotAnError) {
+  ir::Program p = CleanProgram(8);
+  // A(i, j+1): j+1 reaches 8 on an 8-wide array — skipped at runtime.
+  p.nests[0].body[0].rhs0.access.f = {0, 1};
+  Report r = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r, Code::kSubscriptOutOfBounds), 1) << r.ToText();
+  EXPECT_TRUE(r.Clean());
+}
+
+TEST(Validator, NeverInBoundsIsAnError) {
+  ir::Program p = CleanProgram(8);
+  // A(i, j+100) can never resolve on an 8-wide array.
+  p.nests[0].body[0].rhs0.access.f = {0, 100};
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kSubscriptNeverInBounds), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(Validator, TriangularBoundsAreHandled) {
+  // j in [0, i]: A(i, j) stays in bounds; no findings beyond the (real)
+  // kernel-style self-dependence warnings must appear.
+  ir::Program p;
+  Int n = 6;
+  int a = p.AddArray("A", {n, n});
+  ir::LoopNest nest;
+  nest.loops = {{0, n - 1, -1, 0, -1, 0}, {0, 0, -1, 0, 0, 1}};
+  ir::Stmt st;
+  st.id = p.NextStmtId();
+  ir::AffineAccess acc;
+  acc.array = a;
+  acc.F = IntMat(2, 2, {1, 0, 0, 1});
+  acc.f = {0, 0};
+  st.rhs0 = Operand::Affine(acc);
+  st.rhs1 = Operand::Affine(acc);
+  nest.body.push_back(st);
+  p.nests.push_back(std::move(nest));
+  Report r = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r, Code::kSubscriptOutOfBounds), 0) << r.ToText();
+  EXPECT_EQ(CountCode(r, Code::kSubscriptNeverInBounds), 0) << r.ToText();
+}
+
+TEST(Validator, FlagsBadLoopBoundDependence) {
+  ir::Program p = CleanProgram();
+  p.nests[0].loops[0].hi_dep = 1;  // outer bound depending on inner iterator
+  p.nests[0].loops[0].hi_coef = 1;
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kBadLoopBound), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(Validator, FlagsNonUnimodularTransform) {
+  ir::Program p = CleanProgram();
+  p.nests[0].transform = IntMat(2, 2, {2, 0, 0, 1});  // det 2
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kBadTransform), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(Validator, FlagsTransformShapeMismatch) {
+  ir::Program p = CleanProgram();
+  p.nests[0].transform = IntMat::Identity(3);  // on a depth-2 nest
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kBadTransform), 1) << r.ToText();
+}
+
+TEST(Validator, FlagsLeadBeyondMaxLead) {
+  ir::Program p = CleanProgram();
+  ir::Stmt& st = p.nests[0].body[0];
+  st.ndc.offload = true;
+  st.ndc.lead1 = 65;  // default max_lead is 64
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kLeadExceedsMax), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(Validator, FlagsMaskedOffPlannedLocation) {
+  ir::Program p = CleanProgram();
+  ir::Stmt& st = p.nests[0].body[0];
+  st.ndc.offload = true;
+  st.ndc.planned = arch::Loc::kMemBank;
+  VerifyOptions opts;
+  opts.control_register = arch::LocBit(arch::Loc::kCacheCtrl);  // cache only
+  Report r = VerifyProgram(p, opts);
+  EXPECT_GE(CountCode(r, Code::kLocNotEnabled), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(Validator, FlagsOffloadWithoutTwoMemoryOperands) {
+  ir::Program p = CleanProgram();
+  ir::Stmt& st = p.nests[0].body[0];
+  st.rhs1 = Operand::Scalar();
+  st.ndc.offload = true;
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kOffloadNeedsTwoLoads), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(Validator, FlagsMissingIndexData) {
+  ir::Program p = CleanProgram();
+  int idx = p.AddArray("idx", {8});
+  ir::AffineAccess ia;
+  ia.array = idx;
+  ia.F = IntMat(1, 2, {1, 0});
+  ia.f = {0};
+  p.nests[0].body[0].rhs1 = Operand::Indirect(ia, 0);
+  // No p.index_data[idx] registered.
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kMissingIndexData), 1) << r.ToText();
+}
+
+TEST(Validator, FlagsIndexValuesOutsideTargetArray) {
+  ir::Program p = CleanProgram();
+  int idx = p.AddArray("idx", {8});
+  ir::AffineAccess ia;
+  ia.array = idx;
+  ia.F = IntMat(1, 2, {1, 0});
+  ia.f = {0};
+  p.nests[0].body[0].rhs1 = Operand::Indirect(ia, 0);
+  p.index_data[idx] = {0, 1, 2, 3, 999999, 5, 6, 7};  // one wild entry
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kIndexValueOutOfRange), 1) << r.ToText();
+}
+
+TEST(Validator, FlagsStatementsWithoutLoops) {
+  ir::Program p = CleanProgram();
+  ir::LoopNest empty;
+  empty.body.push_back(p.nests[0].body[0]);
+  p.nests.push_back(std::move(empty));
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kEmptyNest), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(Validator, FlagsDuplicateStatementIdsWithinOneBody) {
+  ir::Program p = CleanProgram();
+  p.nests[0].body.push_back(p.nests[0].body[0]);  // same id twice
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kDuplicateStmtId), 1) << r.ToText();
+}
+
+// --- legality auditor (acceptance: must catch injected bugs) -------------
+
+TEST(LegalityAudit, FlagsDeliberatelyIllegalTransform) {
+  // Dependence (0,1) on A. Reversing the inner loop (T = diag(1,-1)) is
+  // unimodular — the validator accepts it — but maps the distance to
+  // (0,-1), lexicographically negative: the auditor must reject it.
+  ir::Program p = FlowDepProgram();
+  p.nests[0].transform = IntMat(2, 2, {1, 0, 0, -1});
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kIllegalTransform), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(LegalityAudit, AcceptsLegalTransformOnSameProgram) {
+  // Interchange maps (0,1) -> (1,0): still lex-positive, hence legal.
+  ir::Program p = FlowDepProgram();
+  p.nests[0].transform = IntMat(2, 2, {0, 1, 1, 0});
+  Report r = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r, Code::kIllegalTransform), 0) << r.ToText();
+  EXPECT_TRUE(r.Clean()) << r.ToText();
+}
+
+TEST(LegalityAudit, FlagsDeliberatelyUnsafeLead) {
+  // The read A(i,j) is one iteration behind the write A(i,j+1): hoisting it
+  // by a lead that crosses the flow dependence is unsafe.
+  ir::Program p = FlowDepProgram();
+  ir::Stmt& st = p.nests[0].body[0];
+  st.ndc.offload = true;
+  st.ndc.planned = arch::Loc::kCacheCtrl;
+  st.ndc.lead0 = 4;  // rhs0 reads A; distance linearizes to 1 <= 4
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kUnsafeLead), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(LegalityAudit, AcceptsSafeLeadOnUnrelatedArray) {
+  // rhs1 reads B, which nothing writes: any in-range lead is safe.
+  ir::Program p = FlowDepProgram();
+  ir::Stmt& st = p.nests[0].body[0];
+  st.ndc.offload = true;
+  st.ndc.planned = arch::Loc::kCacheCtrl;
+  st.ndc.lead1 = 4;
+  Report r = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r, Code::kUnsafeLead), 0) << r.ToText();
+  EXPECT_TRUE(r.Clean()) << r.ToText();
+}
+
+TEST(LegalityAudit, FlagsLeadOnArrayWithUnknownDependences) {
+  // An indirect write makes A's dependences unanalyzable; a lead on a read
+  // of A can then never be proven safe.
+  ir::Program p = CleanProgram();
+  int idx = p.AddArray("idx", {8});
+  p.index_data[idx] = {0, 1, 2, 3, 4, 5, 6, 7};
+  ir::AffineAccess ia;
+  ia.array = idx;
+  ia.F = IntMat(1, 2, {1, 0});
+  ia.f = {0};
+  ir::Stmt extra;
+  extra.id = p.NextStmtId();
+  extra.lhs = Operand::Indirect(ia, 0);  // writes A through idx
+  extra.rhs0 = p.nests[0].body[0].rhs0;
+  extra.rhs1 = Operand::Scalar();
+  p.nests[0].body.push_back(extra);
+  ir::Stmt& st = p.nests[0].body[0];
+  st.ndc.offload = true;
+  st.ndc.lead0 = 2;  // reads A, whose deps are now unknown
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kLeadOnUnknownArray), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(LegalityAudit, FlagsTransformAttachedDespiteUnknownDeps) {
+  ir::Program p = CleanProgram();
+  int idx = p.AddArray("idx", {8});
+  p.index_data[idx] = {0, 1, 2, 3, 4, 5, 6, 7};
+  ir::AffineAccess ia;
+  ia.array = idx;
+  ia.F = IntMat(1, 2, {1, 0});
+  ia.f = {0};
+  ir::Stmt extra;
+  extra.id = p.NextStmtId();
+  extra.lhs = Operand::Indirect(ia, 0);
+  extra.rhs0 = p.nests[0].body[0].rhs0;
+  extra.rhs1 = Operand::Scalar();
+  p.nests[0].body.push_back(extra);
+  p.nests[0].transform = IntMat(2, 2, {0, 1, 1, 0});
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kTransformWithUnknownDeps), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+// --- race detector -------------------------------------------------------
+
+TEST(RaceDetector, FlagsOuterCarriedDependence) {
+  // A(i+1, j) = A(i, j) + B(i, j): distance (1, 0) is carried by the
+  // block-distributed outer loop.
+  ir::Program p = FlowDepProgram();
+  p.nests[0].body[0].lhs.access.f = {1, 0};
+  Report r = VerifyProgram(p);
+  EXPECT_GE(CountCode(r, Code::kParallelCarriedDependence), 1) << r.ToText();
+  EXPECT_TRUE(r.Clean()) << r.ToText();  // races are warnings, not errors
+}
+
+TEST(RaceDetector, InnerCarriedDependenceIsNotARace) {
+  // Distance (0, 1) stays within one core's iteration block.
+  ir::Program p = FlowDepProgram();
+  Report r = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r, Code::kParallelCarriedDependence), 0) << r.ToText();
+}
+
+TEST(RaceDetector, CanBeDisabled) {
+  ir::Program p = FlowDepProgram();
+  p.nests[0].body[0].lhs.access.f = {1, 0};
+  VerifyOptions opts;
+  opts.check_races = false;
+  Report r = VerifyProgram(p, opts);
+  EXPECT_EQ(CountCode(r, Code::kParallelCarriedDependence), 0) << r.ToText();
+}
+
+// --- pipeline integration ------------------------------------------------
+
+TEST(VerifyAfterCompile, ShippedPipelineIsCleanOnAllModes) {
+  arch::ArchConfig cfg;
+  compiler::ArchDescription ad(cfg);
+  for (const std::string& name : {std::string("swim"), std::string("md"),
+                                  std::string("cholesky"), std::string("ocean")}) {
+    for (compiler::Mode mode :
+         {compiler::Mode::kBaseline, compiler::Mode::kAlgorithm1,
+          compiler::Mode::kAlgorithm2, compiler::Mode::kCoarseGrain}) {
+      ir::Program prog = workloads::BuildWorkload(name, workloads::Scale::kTest);
+      compiler::CompileOptions opt;
+      opt.mode = mode;
+      ASSERT_TRUE(opt.verify_after);  // on by default
+      compiler::CompileReport rep = compiler::Compile(prog, ad, opt);
+      EXPECT_EQ(rep.verify.ErrorCount(), 0)
+          << name << " " << compiler::ModeName(mode) << "\n" << rep.verify.ToText();
+    }
+  }
+}
+
+TEST(VerifyAfterCompile, CanBeDisabled) {
+  arch::ArchConfig cfg;
+  compiler::ArchDescription ad(cfg);
+  ir::Program prog = workloads::BuildWorkload("swim", workloads::Scale::kTest);
+  compiler::CompileOptions opt;
+  opt.verify_after = false;
+  compiler::CompileReport rep = compiler::Compile(prog, ad, opt);
+  EXPECT_EQ(rep.verify.diags.size(), 0u);
+}
+
+TEST(VerifyAfterCompile, AuditHonorsRestrictedControlRegister) {
+  // Compile with a cache-only control register: every planned location must
+  // respect the mask, and the auditor (given the same mask) must agree.
+  arch::ArchConfig cfg;
+  compiler::ArchDescription ad(cfg);
+  ir::Program prog = workloads::BuildWorkload("swim", workloads::Scale::kTest);
+  compiler::CompileOptions opt;
+  opt.mode = compiler::Mode::kAlgorithm1;
+  opt.control_register = arch::LocBit(arch::Loc::kCacheCtrl);
+  compiler::CompileReport rep = compiler::Compile(prog, ad, opt);
+  EXPECT_EQ(rep.verify.ErrorCount(), 0) << rep.verify.ToText();
+}
+
+}  // namespace
+}  // namespace ndc::verify

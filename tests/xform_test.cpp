@@ -141,5 +141,106 @@ TEST(FindTransform, HonorsObjectiveAmongLegal) {
   EXPECT_EQ(best, want);
 }
 
+// --- edge cases ----------------------------------------------------------
+
+TEST(Legality, EmptyDependenceMatrixDepthOne) {
+  // A depth-1 nest with no dependences: the only unimodular 1x1 transforms
+  // are (1) and (-1), and both are legal against an empty D.
+  IntMat d(1, 0);
+  EXPECT_TRUE(IsLegalTransform(IntMat(1, 1, {1}), d));
+  EXPECT_TRUE(IsLegalTransform(IntMat(1, 1, {-1}), d));
+  EXPECT_FALSE(IsLegalTransform(IntMat(1, 1, {2}), d));  // still not unimodular
+}
+
+TEST(Legality, NonUnimodularRejectedEvenWhenTDStaysPositive) {
+  // T = diag(2,1) maps (1,0) to (2,0) — lex-positive — but T is not a
+  // bijection on the lattice, so it must be rejected regardless of D.
+  IntMat d = DepMatrix({{1, 0}});
+  EXPECT_FALSE(IsLegalTransform(IntMat(2, 2, {2, 0, 0, 1}), d));
+}
+
+TEST(Legality, SingularRejected) {
+  IntMat d(2, 0);
+  EXPECT_FALSE(IsLegalTransform(IntMat(2, 2, {1, 1, 1, 1}), d));
+}
+
+TEST(Legality, ZeroDistanceColumnRejectsEverything) {
+  // A zero column can never be made lex-positive: even the identity fails.
+  // (The dependence-matrix builder drops zero distances for this reason.)
+  IntMat d = DepMatrix({{0, 0}});
+  EXPECT_FALSE(IsLegalTransform(IntMat::Identity(2), d));
+}
+
+TEST(SolveForT, EmptyPairListCompletesToIdentity) {
+  std::vector<std::pair<IntVec, IntVec>> pairs;
+  IntMat t;
+  ASSERT_TRUE(SolveForTransform(pairs, 2, &t));
+  EXPECT_EQ(t, IntMat::Identity(2));
+}
+
+TEST(SolveForT, ContradictoryPairsRejected) {
+  // The same source iteration cannot map to two different targets.
+  std::vector<std::pair<IntVec, IntVec>> pairs = {{{1, 0}, {1, 0}}, {{1, 0}, {0, 1}}};
+  IntMat t;
+  EXPECT_FALSE(SolveForTransform(pairs, 2, &t));
+}
+
+TEST(SolveForT, RecoversPermutationThenSkewComposition) {
+  // T = skew(1,0,+1) * interchange = [[0,1],[1,1]]: maps (1,0)->(0,1) and
+  // (0,1)->(1,1). The solver must reproduce the composition exactly.
+  std::vector<std::pair<IntVec, IntVec>> pairs = {{{1, 0}, {0, 1}}, {{0, 1}, {1, 1}}};
+  IntMat t;
+  ASSERT_TRUE(SolveForTransform(pairs, 2, &t));
+  EXPECT_EQ(t, IntMat(2, 2, {0, 1, 1, 1}));
+  EXPECT_TRUE(t.IsUnimodular());
+}
+
+TEST(Candidates, SkewsReachMaxSkewBounds) {
+  // With max_skew = 3 the family must contain skews with entries +3 and -3,
+  // and nothing beyond.
+  ir::Int max_skew = 3;
+  auto cands = CandidateTransforms(2, max_skew);
+  bool plus = false, minus = false;
+  ir::Int largest = 0;
+  for (const IntMat& t : cands) {
+    for (int r = 0; r < t.rows(); ++r) {
+      for (int c = 0; c < t.cols(); ++c) {
+        largest = std::max<ir::Int>(largest, t.at(r, c) < 0 ? -t.at(r, c) : t.at(r, c));
+        if (r != c) {
+          plus |= t.at(r, c) == max_skew;
+          minus |= t.at(r, c) == -max_skew;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(plus);
+  EXPECT_TRUE(minus);
+  EXPECT_LE(largest, max_skew);
+}
+
+TEST(Candidates, ContainPermutationThenSkewCompositions) {
+  // The generator composes skew * permutation; [[0,1],[1,1]] (interchange
+  // followed by a unit skew) must be present, and every composition stays
+  // unimodular.
+  auto cands = CandidateTransforms(2);
+  bool found = false;
+  for (const IntMat& t : cands) {
+    found |= t == IntMat(2, 2, {0, 1, 1, 1});
+    ASSERT_TRUE(t.IsUnimodular()) << t.ToString();
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FindTransform, SkewAtBoundLegalizesDeepDependence) {
+  // Dependence (1,-3) needs a skew of +3 on the inner row to become
+  // lex-positive in both components; only max_skew >= 3 families reach it.
+  IntMat d = DepMatrix({{1, -3}});
+  IntMat skew3(2, 2, {1, 0, 3, 1});
+  EXPECT_TRUE(IsLegalTransform(skew3, d));
+  IntMat skew2(2, 2, {1, 0, 2, 1});
+  // skew2 maps (1,-3) to (1,-1): first component positive, still legal.
+  EXPECT_TRUE(IsLegalTransform(skew2, d));
+}
+
 }  // namespace
 }  // namespace ndc::xform
