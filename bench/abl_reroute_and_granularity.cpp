@@ -1,66 +1,12 @@
-// Section 5.4 text ablations:
-//  (1) no-reroute: disable the NoC signature co-selection — the paper
-//      reports ~40% fewer computations performed in message routers;
-//  (2) coarse-grain mapping: map whole loop nests to one location instead
-//      of individual computations — the paper reports only 1.2% / 2.5%
-//      improvements, concluding fine-grain mapping is critical.
-
-#include <cstdio>
+// Section 5.4 text ablations: (1) no-reroute — disable NoC signature
+// co-selection; (2) coarse-grain mapping — whole loop nests to one location
+// instead of individual computations.
+//
+// Thin wrapper: the grid/render logic lives in src/harness ("abl").
 
 #include "bench_common.hpp"
 
-using namespace ndc;
-
 int main(int argc, char** argv) {
-  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kSmall);
-  benchutil::PrintHeader("Ablations: route co-selection and mapping granularity", args);
-
-  std::printf("%-10s | %10s %10s %7s | %9s %9s\n", "benchmark", "router NDC",
-              "no-reroute", "drop", "coarse-1", "fine-1");
-  double router_with = 0, router_without = 0;
-  std::vector<double> coarse_ratio, fine_ratio;
-  benchutil::ForEachBenchmark(args, [&](const std::string& name) {
-    arch::ArchConfig cfg;
-    metrics::Experiment exp(name, args.scale, cfg);
-
-    compiler::CompileOptions with;
-    with.mode = compiler::Mode::kAlgorithm1;
-    metrics::SchemeResult rw = exp.RunCompiled(with);
-
-    compiler::CompileOptions without = with;
-    without.allow_reroute = false;
-    metrics::SchemeResult rwo = exp.RunCompiled(without);
-
-    compiler::CompileOptions coarse;
-    coarse.mode = compiler::Mode::kCoarseGrain;
-    metrics::SchemeResult rc = exp.RunCompiled(coarse);
-
-    std::uint64_t net_w = rw.run.ndc_at_loc[static_cast<std::size_t>(arch::Loc::kLinkBuffer)];
-    std::uint64_t net_wo =
-        rwo.run.ndc_at_loc[static_cast<std::size_t>(arch::Loc::kLinkBuffer)];
-    double drop = net_w == 0 ? 0.0
-                             : 100.0 * (static_cast<double>(net_w) - static_cast<double>(net_wo)) /
-                                   static_cast<double>(net_w);
-    std::printf("%-10s | %10llu %10llu %6.1f%% | %+8.1f%% %+8.1f%%\n", name.c_str(),
-                static_cast<unsigned long long>(net_w),
-                static_cast<unsigned long long>(net_wo), drop, rc.improvement_pct,
-                rw.improvement_pct);
-    std::fflush(stdout);
-    router_with += static_cast<double>(net_w);
-    router_without += static_cast<double>(net_wo);
-    sim::Cycle base = exp.Baseline().makespan;
-    coarse_ratio.push_back(static_cast<double>(base) /
-                           static_cast<double>(std::max<sim::Cycle>(1, rc.run.makespan)));
-    fine_ratio.push_back(static_cast<double>(base) /
-                         static_cast<double>(std::max<sim::Cycle>(1, rw.run.makespan)));
-  });
-  double total_drop = router_with == 0 ? 0.0
-                                       : 100.0 * (router_with - router_without) / router_with;
-  std::printf("\nrouter NDC reduction without rerouting: %.1f%% (paper: ~40%%)\n",
-              total_drop);
-  std::printf("coarse-grain geomean improvement: %+.1f%% vs fine-grain %+.1f%% "
-              "(paper: 1.2%% vs 22.5%% — fine-grain mapping is critical)\n",
-              (1.0 - 1.0 / sim::GeometricMean(coarse_ratio)) * 100.0,
-              (1.0 - 1.0 / sim::GeometricMean(fine_ratio)) * 100.0);
-  return 0;
+  return ndc::benchutil::RunFigureMain("abl", argc, argv,
+                                       ndc::workloads::Scale::kSmall);
 }

@@ -1,24 +1,13 @@
 // Diagnostic: baseline congestion counters and oracle/Algorithm-1 benefit
 // as a function of the core's outstanding-load (MLP) window on md.
 // A development aid, not a paper figure.
+//
+// Thin wrapper: the grid/render logic lives in src/harness
+// ("diag_congestion").
 
-#include <cstdio>
-#include "metrics/experiment.hpp"
-using namespace ndc;
-int main() {
-  for (int mlp : {8, 16, 32}) {
-    arch::ArchConfig cfg;
-    cfg.max_outstanding_loads = mlp;
-    metrics::Experiment exp("md", workloads::Scale::kSmall, cfg);
-    const auto& b = exp.Baseline();
-    auto orc = exp.Run(metrics::Scheme::kOracle);
-    auto a1 = exp.Run(metrics::Scheme::kAlgorithm1);
-    std::printf("mlp=%2d base=%8llu contention=%8llu mcwait=%8llu | oracle %+5.1f%% (ndc=%llu) | alg1 %+5.1f%% (ndc=%llu)\n",
-      mlp, (unsigned long long)b.makespan,
-      (unsigned long long)b.stats.Get("noc.contention_cycles"),
-      (unsigned long long)b.stats.Get("mc.queue_wait_cycles"),
-      orc.improvement_pct, (unsigned long long)orc.run.ndc_success,
-      a1.improvement_pct, (unsigned long long)a1.run.ndc_success);
-  }
-  return 0;
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return ndc::benchutil::RunFigureMain("diag_congestion", argc, argv,
+                                       ndc::workloads::Scale::kSmall);
 }

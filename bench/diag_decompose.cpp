@@ -3,17 +3,19 @@
 // compare oracle acceptance counts. Development aid.
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 
+#include "bench_common.hpp"
 #include "compiler/codegen.hpp"
-#include "metrics/experiment.hpp"
 
 using namespace ndc;
 
 int main(int argc, char** argv) {
-  std::string name = argc > 1 ? argv[1] : "md";
-  workloads::Scale scale = workloads::Scale::kSmall;
+  benchutil::ParseSpec pspec;
+  pspec.positional_name = true;
+  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kSmall, pspec);
+  std::string name = args.positional.empty() ? "md" : args.positional;
+  workloads::Scale scale = args.scale;
   arch::ArchConfig cfg;
 
   metrics::Experiment exp(name, scale, cfg);

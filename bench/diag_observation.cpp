@@ -6,22 +6,18 @@
 // Usage: diag_observation [--scale=test|small] [--bench=NAME]
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 
-#include "metrics/experiment.hpp"
+#include "bench_common.hpp"
 #include "ndc/record.hpp"
 #include "sim/stats.hpp"
 
 using namespace ndc;
 
 int main(int argc, char** argv) {
-  workloads::Scale scale = workloads::Scale::kTest;
-  std::string only;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--scale=small") == 0) scale = workloads::Scale::kSmall;
-    if (std::strncmp(argv[i], "--bench=", 8) == 0) only = argv[i] + 8;
-  }
+  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kTest);
+  workloads::Scale scale = args.scale;
+  std::string only = args.only;
   arch::ArchConfig cfg;
   noc::Mesh mesh(cfg.mesh_width, cfg.mesh_height);
 

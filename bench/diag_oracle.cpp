@@ -4,20 +4,19 @@
 // Usage: diag_oracle [NAME] [--scale=small]
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 
-#include "metrics/experiment.hpp"
+#include "bench_common.hpp"
 #include "ndc/record.hpp"
 
 using namespace ndc;
 
 int main(int argc, char** argv) {
-  std::string name = argc > 1 && argv[1][0] != '-' ? argv[1] : "md";
-  workloads::Scale scale = workloads::Scale::kTest;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--scale=small") == 0) scale = workloads::Scale::kSmall;
-  }
+  benchutil::ParseSpec pspec;
+  pspec.positional_name = true;
+  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kTest, pspec);
+  std::string name = args.positional.empty() ? "md" : args.positional;
+  workloads::Scale scale = args.scale;
   arch::ArchConfig cfg;
   noc::Mesh mesh(cfg.mesh_width, cfg.mesh_height);
   metrics::Experiment exp(name, scale, cfg);

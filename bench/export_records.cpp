@@ -16,12 +16,12 @@
 using namespace ndc;
 
 int main(int argc, char** argv) {
-  std::string name = argc > 1 && argv[1][0] != '-' ? argv[1] : "md";
-  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kTest);
-  bool all = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--all") == 0) all = true;
-  }
+  benchutil::ParseSpec pspec;
+  pspec.positional_name = true;
+  pspec.allow_all = true;
+  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kTest, pspec);
+  std::string name = args.positional.empty() ? "md" : args.positional;
+  bool all = args.all;
 
   arch::ArchConfig cfg;
   noc::Mesh mesh(cfg.mesh_width, cfg.mesh_height);

@@ -2,63 +2,11 @@
 // four NDC locations — (a) link buffer, (b) L2 controller, (c) memory
 // controller, (d) main memory — for each of the 20 benchmarks.
 //
-// "500+" includes windows above 500 cycles and pairs whose operands never
-// meet at the location (e.g. paths that do not intersect on the network).
-
-#include <array>
-#include <cstdio>
+// Thin wrapper: the grid/render logic lives in src/harness (RunFig02).
 
 #include "bench_common.hpp"
-#include "ndc/record.hpp"
-#include "sim/stats.hpp"
-
-using namespace ndc;
 
 int main(int argc, char** argv) {
-  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kSmall);
-  benchutil::PrintHeader("Figure 2: arrival-window CDF per NDC location", args);
-
-  const std::array<arch::Loc, 4> locs = {arch::Loc::kLinkBuffer, arch::Loc::kCacheCtrl,
-                                         arch::Loc::kMemCtrl, arch::Loc::kMemBank};
-  const char* panel[4] = {"(a) link buffer", "(b) L2 controller", "(c) memory controller",
-                          "(d) main memory"};
-
-  // Collect histograms per (benchmark, loc).
-  std::vector<std::string> names;
-  std::vector<std::array<sim::BucketHistogram, 4>> hists;
-  benchutil::ForEachBenchmark(args, [&](const std::string& name) {
-    arch::ArchConfig cfg;
-    metrics::Experiment exp(name, args.scale, cfg);
-    const auto& obs = exp.Observe();
-    std::array<sim::BucketHistogram, 4> h;
-    obs.records->ForEach([&](const runtime::InstanceRecord& rec) {
-      if (rec.local_l1) return;
-      for (std::size_t l = 0; l < locs.size(); ++l) {
-        const runtime::LocObs& o = rec.at(locs[l]);
-        if (!o.feasible) continue;  // the location can never serve this pair
-        h[l].Add(o.Window());       // kNeverCycle falls into 500+
-      }
-    });
-    names.push_back(name);
-    hists.push_back(std::move(h));
-  });
-
-  for (std::size_t l = 0; l < locs.size(); ++l) {
-    std::printf("\n%s — cumulative %% of windows <= bucket edge (paper truncates at 50%%)\n",
-                panel[l]);
-    std::printf("%-10s %6s %6s %6s %6s %6s %6s %6s\n", "benchmark", "<=1", "<=10", "<=20",
-                "<=50", "<=100", "<=500", "500+");
-    for (std::size_t b = 0; b < names.size(); ++b) {
-      const sim::BucketHistogram& h = hists[b][l];
-      std::printf("%-10s", names[b].c_str());
-      for (std::size_t e = 0; e < 6; ++e) {
-        std::printf(" %5.1f%%", h.CumulativeFraction(e) * 100.0);
-      }
-      std::printf(" %5.1f%%\n", h.Fraction(6) * 100.0);
-    }
-  }
-  std::printf("\npaper example: swim <=20cy at cache controller ~14.3%%, at MC ~7.7%%;\n"
-              "applu <=20cy at cache ~26.7%% vs raytrace ~8.6%% — windows vary widely by\n"
-              "benchmark and location.\n");
-  return 0;
+  return ndc::benchutil::RunFigureMain("fig02", argc, argv,
+                                       ndc::workloads::Scale::kSmall);
 }

@@ -1,67 +1,11 @@
 // Figure 3: comparison of breakeven points versus arrival windows, averaged
 // over all 20 benchmarks, for each of the four NDC locations.
 //
-// The paper's conclusion: breakeven points are in general much lower than
-// arrival windows — waiting for the late operand usually means waiting past
-// the point where NDC still pays off.
-
-#include <array>
-#include <cstdio>
+// Thin wrapper: the grid/render logic lives in src/harness (RunFig03).
 
 #include "bench_common.hpp"
-#include "ndc/record.hpp"
-#include "sim/stats.hpp"
-
-using namespace ndc;
 
 int main(int argc, char** argv) {
-  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kSmall);
-  benchutil::PrintHeader("Figure 3: breakeven points vs arrival windows", args);
-
-  const std::array<arch::Loc, 4> locs = {arch::Loc::kLinkBuffer, arch::Loc::kCacheCtrl,
-                                         arch::Loc::kMemCtrl, arch::Loc::kMemBank};
-  std::array<sim::BucketHistogram, 4> window_h;
-  std::array<sim::BucketHistogram, 4> breakeven_h;
-
-  arch::ArchConfig cfg;
-  noc::Mesh mesh(cfg.mesh_width, cfg.mesh_height);
-  benchutil::ForEachBenchmark(args, [&](const std::string& name) {
-    metrics::Experiment exp(name, args.scale, cfg);
-    const auto& obs = exp.Observe();
-    obs.records->ForEach([&](const runtime::InstanceRecord& rec) {
-      if (rec.local_l1) return;
-      for (std::size_t l = 0; l < locs.size(); ++l) {
-        const runtime::LocObs& o = rec.at(locs[l]);
-        if (!o.feasible) continue;
-        window_h[l].Add(o.Window());
-        sim::Cycle ret = runtime::ResultReturnLatency(mesh, cfg.noc, o.node, rec.core);
-        breakeven_h[l].Add(runtime::BreakevenPoint(rec, locs[l], 1, ret));
-      }
-    });
-  });
-
-  const char* loc_names[4] = {"link buffer", "cache controller", "memory controller",
-                              "main memory"};
-  std::printf("\n%% of samples per bucket (paper Figure 3 shape: breakevens skew low)\n");
-  std::printf("%-18s %-10s %6s %6s %6s %6s %6s %6s %6s\n", "location", "metric", "<=1",
-              "<=10", "<=20", "<=50", "<=100", "<=500", "500+");
-  for (std::size_t l = 0; l < locs.size(); ++l) {
-    for (int which = 0; which < 2; ++which) {
-      const sim::BucketHistogram& h = which == 0 ? window_h[l] : breakeven_h[l];
-      std::printf("%-18s %-10s", which == 0 ? loc_names[l] : "",
-                  which == 0 ? "window" : "breakeven");
-      for (std::size_t e = 0; e < 7; ++e) std::printf(" %5.1f%%", h.Fraction(e) * 100.0);
-      std::printf("\n");
-    }
-  }
-
-  // Headline check: mean breakeven below mean window per location.
-  std::printf("\nconclusion check: in every location, the fraction of breakevens <= 20cy "
-              "should exceed the fraction of windows <= 20cy\n");
-  for (std::size_t l = 0; l < locs.size(); ++l) {
-    std::printf("  %-18s windows<=20: %5.1f%%   breakevens<=20: %5.1f%%\n", loc_names[l],
-                window_h[l].CumulativeFraction(2) * 100.0,
-                breakeven_h[l].CumulativeFraction(2) * 100.0);
-  }
-  return 0;
+  return ndc::benchutil::RunFigureMain("fig03", argc, argv,
+                                       ndc::workloads::Scale::kSmall);
 }

@@ -1,67 +1,12 @@
-// Figure 4: performance benefits with different NDC schemes, per benchmark.
+// Figure 4: performance benefits with different NDC schemes, per benchmark
+// (Default, Oracle, Wait(5/10/25/50%), Last Wait, Algorithm-1/2 improvement
+// over the original execution).
 //
-// Regenerates the paper's series: Default (wait until the second operand
-// arrives), Oracle, Wait(5/10/25/50%), Last Wait, Algorithm-1, Algorithm-2 —
-// improvement (%) over the original (conventional) execution.
-//
-// Usage: fig04_scheme_comparison [--scale=test|small|full] [--bench=NAME]
+// Thin wrapper: the grid/render logic lives in src/harness ("fig04").
 
-#include <cstdio>
-#include <cstring>
-#include <string>
-#include <vector>
-
-#include "metrics/experiment.hpp"
-#include "sim/stats.hpp"
-
-using namespace ndc;
+#include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  workloads::Scale scale = workloads::Scale::kSmall;
-  std::string only;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--scale=test") == 0) scale = workloads::Scale::kTest;
-    if (std::strcmp(argv[i], "--scale=full") == 0) scale = workloads::Scale::kFull;
-    if (std::strncmp(argv[i], "--bench=", 8) == 0) only = argv[i] + 8;
-  }
-
-  const std::vector<metrics::Scheme> schemes = {
-      metrics::Scheme::kDefault, metrics::Scheme::kOracle,  metrics::Scheme::kWait5,
-      metrics::Scheme::kWait10,  metrics::Scheme::kWait25,  metrics::Scheme::kWait50,
-      metrics::Scheme::kLastWait, metrics::Scheme::kMarkov,
-      metrics::Scheme::kAlgorithm1, metrics::Scheme::kAlgorithm2};
-
-  std::printf("# Figure 4: performance improvement (%%) over the original execution\n");
-  std::printf("%-10s", "benchmark");
-  for (metrics::Scheme s : schemes) std::printf(" %11s", metrics::SchemeName(s));
-  std::printf("\n");
-
-  std::vector<std::vector<double>> ratios(schemes.size());
-  for (const std::string& name : workloads::BenchmarkNames()) {
-    if (!only.empty() && name != only) continue;
-    arch::ArchConfig cfg;
-    metrics::Experiment exp(name, scale, cfg);
-    std::printf("%-10s", name.c_str());
-    std::fflush(stdout);
-    for (std::size_t i = 0; i < schemes.size(); ++i) {
-      metrics::SchemeResult r = exp.Run(schemes[i]);
-      std::printf(" %+10.1f%%", r.improvement_pct);
-      std::fflush(stdout);
-      ratios[i].push_back(
-          static_cast<double>(exp.Baseline().makespan) /
-          static_cast<double>(std::max<sim::Cycle>(1, r.run.makespan)));
-    }
-    std::printf("\n");
-  }
-  if (only.empty()) {
-    std::printf("%-10s", "geomean");
-    for (std::size_t i = 0; i < schemes.size(); ++i) {
-      double g = sim::GeometricMean(ratios[i]);
-      std::printf(" %+10.1f%%", (1.0 - 1.0 / g) * 100.0);
-    }
-    std::printf("\n");
-    std::printf("\npaper:   Default -16.7%%, Oracle +29.3%%, Wait(5..50%%) -15.1..-13.4%%, "
-                "LastWait -4.3%% (Markov similar), Alg-1 +22.5%%, Alg-2 +25.2%%\n");
-  }
-  return 0;
+  return ndc::benchutil::RunFigureMain("fig04", argc, argv,
+                                       ndc::workloads::Scale::kSmall);
 }

@@ -1,90 +1,12 @@
 // Figure 5: arrival-window sizes for 30 consecutive executions of a given
 // instruction (PC) in ocean and radiosity — the paper's evidence that
 // windows are not easily predictable (defeating the Last-Wait predictor).
-
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
-#include <map>
-#include <vector>
+//
+// Thin wrapper: the trace logic lives in src/harness (RunFig05).
 
 #include "bench_common.hpp"
-#include "ndc/record.hpp"
-
-using namespace ndc;
-
-namespace {
-
-// Consecutive windows of the hottest (core, pc) pair at its first feasible
-// location.
-std::vector<sim::Cycle> WindowTrace(const std::string& name, workloads::Scale scale,
-                                    int want) {
-  arch::ArchConfig cfg;
-  metrics::Experiment exp(name, scale, cfg);
-  const auto& obs = exp.Observe();
-
-  // (core, pc) -> sorted (compute_idx, window) samples
-  std::map<std::pair<sim::NodeId, std::uint32_t>,
-           std::vector<std::pair<std::uint32_t, sim::Cycle>>>
-      by_pc;
-  obs.records->ForEach([&](const runtime::InstanceRecord& rec) {
-    if (rec.local_l1) return;
-    for (arch::Loc loc : runtime::kTrialOrder) {
-      const runtime::LocObs& o = rec.at(loc);
-      if (!o.feasible) continue;
-      by_pc[{rec.core, rec.pc}].push_back({rec.compute_idx, o.Window()});
-      break;
-    }
-  });
-  std::vector<std::pair<std::uint32_t, sim::Cycle>>* best = nullptr;
-  for (auto& [key, v] : by_pc) {
-    if (best == nullptr || v.size() > best->size()) best = &v;
-  }
-  std::vector<sim::Cycle> out;
-  if (best == nullptr) return out;
-  std::sort(best->begin(), best->end());
-  for (const auto& [idx, w] : *best) {
-    out.push_back(w);
-    if (static_cast<int>(out.size()) >= want) break;
-  }
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kSmall);
-  benchutil::PrintHeader(
-      "Figure 5: 30 consecutive arrival windows of one instruction (ocean, radiosity)",
-      args);
-
-  for (const char* name : {"ocean", "radiosity"}) {
-    std::vector<sim::Cycle> trace = WindowTrace(name, args.scale, 30);
-    std::printf("\n%s (window cycles per consecutive execution; '-' = never met):\n  ",
-                name);
-    double mean = 0;
-    int n = 0;
-    for (sim::Cycle w : trace) {
-      if (w == sim::kNeverCycle) {
-        std::printf("  -");
-      } else {
-        std::printf(" %3llu", static_cast<unsigned long long>(w));
-        mean += static_cast<double>(w);
-        ++n;
-      }
-    }
-    // Successive-difference variability: high values = hard to predict.
-    double var = 0;
-    int dn = 0;
-    for (std::size_t i = 1; i < trace.size(); ++i) {
-      if (trace[i] == sim::kNeverCycle || trace[i - 1] == sim::kNeverCycle) continue;
-      double d = static_cast<double>(trace[i]) - static_cast<double>(trace[i - 1]);
-      var += d * d;
-      ++dn;
-    }
-    std::printf("\n  mean=%.1f, successive-diff RMS=%.1f (paper: windows fluctuate "
-                "unpredictably; Last-Wait mispredicts)\n",
-                n ? mean / n : 0.0, dn ? std::sqrt(var / dn) : 0.0);
-  }
-  return 0;
+  return ndc::benchutil::RunFigureMain("fig05", argc, argv,
+                                       ndc::workloads::Scale::kSmall);
 }

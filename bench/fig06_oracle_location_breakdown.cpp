@@ -1,50 +1,12 @@
 // Figure 6: distribution of the hardware locations where the ORACLE scheme
 // performs its near-data computations (paper averages: cache 25.9%,
 // network 36%, memory controller 21.7%, memory 16.4%).
-
-#include <cstdio>
+//
+// Thin wrapper: the grid/render logic lives in src/harness ("fig06").
 
 #include "bench_common.hpp"
 
-using namespace ndc;
-
 int main(int argc, char** argv) {
-  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kSmall);
-  benchutil::PrintHeader("Figure 6: oracle NDC-location breakdown", args);
-
-  std::printf("%-10s %8s %8s %8s %8s   (share of NDC computations)\n", "benchmark", "cache",
-              "network", "MC", "memory");
-  std::array<double, 4> sum{};
-  int n = 0;
-  benchutil::ForEachBenchmark(args, [&](const std::string& name) {
-    arch::ArchConfig cfg;
-    metrics::Experiment exp(name, args.scale, cfg);
-    metrics::SchemeResult r = exp.Run(metrics::Scheme::kOracle);
-    double total = 0;
-    for (std::uint64_t v : r.run.ndc_at_loc) total += static_cast<double>(v);
-    auto pct = [&](arch::Loc l) {
-      return total == 0 ? 0.0
-                        : 100.0 *
-                              static_cast<double>(
-                                  r.run.ndc_at_loc[static_cast<std::size_t>(l)]) /
-                              total;
-    };
-    double c = pct(arch::Loc::kCacheCtrl), net = pct(arch::Loc::kLinkBuffer),
-           mc = pct(arch::Loc::kMemCtrl), mem = pct(arch::Loc::kMemBank);
-    std::printf("%-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%%   (%llu NDC ops)\n", name.c_str(), c,
-                net, mc, mem, static_cast<unsigned long long>(r.run.ndc_success));
-    if (total > 0) {
-      sum[0] += c;
-      sum[1] += net;
-      sum[2] += mc;
-      sum[3] += mem;
-      ++n;
-    }
-  });
-  if (n > 0) {
-    std::printf("%-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", "average", sum[0] / n, sum[1] / n,
-                sum[2] / n, sum[3] / n);
-  }
-  std::printf("\npaper averages: cache 25.9%%, network 36%%, MC 21.7%%, memory 16.4%%\n");
-  return 0;
+  return ndc::benchutil::RunFigureMain("fig06", argc, argv,
+                                       ndc::workloads::Scale::kSmall);
 }

@@ -1,60 +1,11 @@
 // Figure 14: performance improvement when Algorithm 1 targets a single NDC
 // location in isolation (via the control register), versus all four.
 //
-// Paper observation: per-location savings sum to MORE than the all-four
-// saving (a computation performed in one location is not repeated in the
-// next), and enabling all four locations matters for the best results.
-
-#include <cstdio>
+// Thin wrapper: the grid/render logic lives in src/harness ("fig14").
 
 #include "bench_common.hpp"
 
-using namespace ndc;
-
 int main(int argc, char** argv) {
-  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kSmall);
-  benchutil::PrintHeader("Figure 14: Algorithm 1 restricted to one component", args);
-
-  struct Config {
-    const char* name;
-    std::uint8_t mask;
-  };
-  const Config configs[] = {
-      {"cache", arch::LocBit(arch::Loc::kCacheCtrl)},
-      {"network", arch::LocBit(arch::Loc::kLinkBuffer)},
-      {"MC", arch::LocBit(arch::Loc::kMemCtrl)},
-      {"memory", arch::LocBit(arch::Loc::kMemBank)},
-      {"all", arch::kAllLocs},
-  };
-
-  std::printf("%-10s", "benchmark");
-  for (const Config& c : configs) std::printf(" %9s", c.name);
-  std::printf("   (improvement %% over baseline)\n");
-
-  std::vector<std::vector<double>> ratios(5);
-  benchutil::ForEachBenchmark(args, [&](const std::string& name) {
-    arch::ArchConfig cfg;
-    metrics::Experiment exp(name, args.scale, cfg);
-    std::printf("%-10s", name.c_str());
-    std::fflush(stdout);
-    for (std::size_t i = 0; i < 5; ++i) {
-      compiler::CompileOptions opt;
-      opt.mode = compiler::Mode::kAlgorithm1;
-      opt.control_register = configs[i].mask;
-      metrics::SchemeResult r = exp.RunCompiled(opt);
-      std::printf(" %+8.1f%%", r.improvement_pct);
-      std::fflush(stdout);
-      ratios[i].push_back(static_cast<double>(exp.Baseline().makespan) /
-                          static_cast<double>(std::max<sim::Cycle>(1, r.run.makespan)));
-    }
-    std::printf("\n");
-  });
-  std::printf("%-10s", "geomean");
-  for (std::size_t i = 0; i < 5; ++i) {
-    double g = sim::GeometricMean(ratios[i]);
-    std::printf(" %+8.1f%%", (1.0 - 1.0 / g) * 100.0);
-  }
-  std::printf("\n\npaper: exploiting all four locations together is critical; isolated\n"
-              "per-location savings sum to more than the combined saving.\n");
-  return 0;
+  return ndc::benchutil::RunFigureMain("fig14", argc, argv,
+                                       ndc::workloads::Scale::kSmall);
 }

@@ -1,48 +1,11 @@
 // Figure 15: fraction of NDC opportunities exercised by Algorithm 2 — the
-// remainder is bypassed in favor of data locality (one of the operands has a
-// reuse beyond the offloaded computation). Paper average: 81.8%.
-
-#include <cstdio>
+// remainder is bypassed in favor of data locality. Paper average: 81.8%.
+//
+// Thin wrapper: the grid/render logic lives in src/harness ("fig15").
 
 #include "bench_common.hpp"
 
-using namespace ndc;
-
 int main(int argc, char** argv) {
-  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kSmall);
-  benchutil::PrintHeader("Figure 15: NDC opportunities exercised by Algorithm 2", args);
-
-  std::printf("%-10s %14s %14s %12s\n", "benchmark", "static chains", "dyn. offloads",
-              "exercised");
-  double sum = 0;
-  int n = 0;
-  benchutil::ForEachBenchmark(args, [&](const std::string& name) {
-    arch::ArchConfig cfg;
-    metrics::Experiment exp(name, args.scale, cfg);
-    metrics::SchemeResult a1 = exp.Run(metrics::Scheme::kAlgorithm1);
-    metrics::SchemeResult a2 = exp.Run(metrics::Scheme::kAlgorithm2);
-    // Static view: chains Algorithm 2 kept, of the chains it examined that
-    // Algorithm 1 could plan. Dynamic view: offload attempts relative to
-    // Algorithm 1's (the superset of exercised opportunities).
-    const auto& r1 = a1.compile_report;
-    const auto& r2 = a2.compile_report;
-    double dyn = a1.run.offloads == 0
-                     ? 100.0
-                     : 100.0 * static_cast<double>(a2.run.offloads) /
-                           static_cast<double>(a1.run.offloads);
-    dyn = std::min(dyn, 100.0);
-    std::printf("%-10s %8llu/%-5llu %8llu/%-5llu %10.1f%%\n", name.c_str(),
-                static_cast<unsigned long long>(r2.planned),
-                static_cast<unsigned long long>(r1.planned),
-                static_cast<unsigned long long>(a2.run.offloads),
-                static_cast<unsigned long long>(a1.run.offloads), dyn);
-    if (a1.run.offloads > 0) {
-      sum += dyn;
-      ++n;
-    }
-  });
-  if (n > 0) std::printf("%-10s %14s %14s %10.1f%%\n", "average", "", "", sum / n);
-  std::printf("\npaper: Algorithm 2 exercises 81.8%% of opportunities on average; the rest\n"
-              "are bypassed because an operand is reused after the computation.\n");
-  return 0;
+  return ndc::benchutil::RunFigureMain("fig15", argc, argv,
+                                       ndc::workloads::Scale::kSmall);
 }

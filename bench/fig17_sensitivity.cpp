@@ -1,74 +1,12 @@
-// Figure 17: sensitivity study. Each experiment changes ONE parameter from
-// the Table-1 defaults and reports the geometric-mean improvement of
-// Algorithm 1, Algorithm 2, and the Oracle across all 20 benchmarks:
-//   - manycore size 4x4 / 5x5 (default) / 6x6
-//   - L2 bank capacity 256 KB / 512 KB (default) / 1 MB
-//   - offloadable ops restricted to {+,-} (paper: Alg-1 14.1%, Alg-2 16.5%)
-
-#include <cstdio>
-#include <functional>
+// Figure 17: sensitivity study — mesh size 4x4/5x5/6x6, L2 bank capacity
+// 256KB/512KB/1MB, and offloadable ops restricted to {+,-}, reporting the
+// geomean improvement of Algorithm 1/2 and the Oracle.
+//
+// Thin wrapper: the grid/render logic lives in src/harness ("fig17").
 
 #include "bench_common.hpp"
 
-using namespace ndc;
-
-namespace {
-
-struct Variant {
-  const char* name;
-  std::function<void(arch::ArchConfig&)> apply;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kSmall);
-  benchutil::PrintHeader("Figure 17: sensitivity to mesh size, L2 capacity, op set", args);
-
-  const Variant variants[] = {
-      {"default-5x5", [](arch::ArchConfig&) {}},
-      {"mesh-4x4",
-       [](arch::ArchConfig& c) {
-         c.mesh_width = 4;
-         c.mesh_height = 4;
-       }},
-      {"mesh-6x6",
-       [](arch::ArchConfig& c) {
-         c.mesh_width = 6;
-         c.mesh_height = 6;
-       }},
-      {"L2-256KB", [](arch::ArchConfig& c) { c.l2.size_bytes = 256 * 1024; }},
-      {"L2-1MB", [](arch::ArchConfig& c) { c.l2.size_bytes = 1024 * 1024; }},
-      {"ops-addsub-only", [](arch::ArchConfig& c) { c.restrict_ops_to_addsub = true; }},
-  };
-
-  std::printf("%-16s %12s %12s %12s   (geomean improvement over the variant's own "
-              "baseline)\n",
-              "variant", "Algorithm-1", "Algorithm-2", "Oracle");
-  for (const Variant& v : variants) {
-    std::vector<double> r1, r2, ro;
-    benchutil::ForEachBenchmark(args, [&](const std::string& name) {
-      arch::ArchConfig cfg;
-      v.apply(cfg);
-      metrics::Experiment exp(name, args.scale, cfg);
-      sim::Cycle base = exp.Baseline().makespan;
-      auto ratio = [&](metrics::Scheme s) {
-        metrics::SchemeResult r = exp.Run(s);
-        return static_cast<double>(base) /
-               static_cast<double>(std::max<sim::Cycle>(1, r.run.makespan));
-      };
-      r1.push_back(ratio(metrics::Scheme::kAlgorithm1));
-      r2.push_back(ratio(metrics::Scheme::kAlgorithm2));
-      ro.push_back(ratio(metrics::Scheme::kOracle));
-    });
-    auto pct = [](const std::vector<double>& v2) {
-      return (1.0 - 1.0 / sim::GeometricMean(v2)) * 100.0;
-    };
-    std::printf("%-16s %+11.1f%% %+11.1f%% %+11.1f%%\n", v.name, pct(r1), pct(r2), pct(ro));
-    std::fflush(stdout);
-  }
-  std::printf("\npaper findings: benefits grow with mesh size (more NDC locations);\n"
-              "insensitive to L2 capacity (the NDC location shifts, the amount does not);\n"
-              "restricting ops to +/- still yields 14.1%% / 16.5%% for Alg-1 / Alg-2.\n");
-  return 0;
+  return ndc::benchutil::RunFigureMain("fig17", argc, argv,
+                                       ndc::workloads::Scale::kSmall);
 }

@@ -1,119 +1,12 @@
 // Table 2: L1 and L2 hit/miss estimation accuracy of the Cache Miss
 // Equations (CME) estimator, per benchmark (paper averages: L1 81.1%,
-// L2 72.9%; the estimator is static and misses coherence/interleaving
-// effects).
+// L2 72.9%).
 //
-// Methodology: every memory operand access of every nest is replayed
-// through functional caches (private L1 per core, shared NUCA L2 banks,
-// cores interleaved round-robin as in the parallel execution) and compared
-// against the CME's per-access prediction.
+// Thin wrapper: the replay/render logic lives in src/harness (RunTab02).
 
-#include <cstdio>
-#include <memory>
-
-#include "analysis/cme.hpp"
 #include "bench_common.hpp"
-#include "compiler/codegen.hpp"
-#include "mem/address_map.hpp"
-#include "mem/cache.hpp"
-
-using namespace ndc;
-
-namespace {
-
-struct Accuracy {
-  std::uint64_t l1_correct = 0, l1_total = 0;
-  std::uint64_t l2_correct = 0, l2_total = 0;
-  double L1() const { return l1_total ? 100.0 * l1_correct / static_cast<double>(l1_total) : 0; }
-  double L2() const { return l2_total ? 100.0 * l2_correct / static_cast<double>(l2_total) : 0; }
-};
-
-Accuracy Evaluate(const std::string& name, workloads::Scale scale) {
-  arch::ArchConfig cfg;
-  ir::Program prog = workloads::BuildWorkload(name, scale, 1);
-  mem::AddressMap amap = cfg.MakeAddressMap();
-  int cores = cfg.num_nodes();
-
-  std::vector<std::unique_ptr<mem::Cache>> l1;
-  std::vector<std::unique_ptr<mem::Cache>> l2;
-  for (int i = 0; i < cores; ++i) {
-    l1.push_back(std::make_unique<mem::Cache>(cfg.l1));
-    l2.push_back(std::make_unique<mem::Cache>(cfg.l2));
-  }
-
-  Accuracy acc;
-  std::set<int> warm;
-  for (const ir::LoopNest& nest : prog.nests) {
-    analysis::CmePredictor cme(prog, nest, analysis::CacheSpec::From(cfg.l1),
-                               analysis::CacheSpec::From(cfg.l2), cores, warm);
-    // Interleave cores' iteration streams round-robin, approximating the
-    // parallel execution the estimator cannot see (a known error source).
-    std::vector<std::vector<ir::IntVec>> per_core(static_cast<std::size_t>(cores));
-    nest.ForEachIteration([&](const ir::IntVec& iter) {
-      per_core[static_cast<std::size_t>(compiler::CoreForIteration(nest, iter, cores))]
-          .push_back(iter);
-    });
-    std::size_t longest = 0;
-    for (const auto& v : per_core) longest = std::max(longest, v.size());
-    for (std::size_t j = 0; j < longest; ++j) {
-      for (int c = 0; c < cores; ++c) {
-        const auto& iters = per_core[static_cast<std::size_t>(c)];
-        if (j >= iters.size()) continue;
-        const ir::IntVec& iter = iters[j];
-        for (int s = 0; s < static_cast<int>(nest.body.size()); ++s) {
-          const ir::Stmt& st = nest.body[static_cast<std::size_t>(s)];
-          for (auto sel : {analysis::OperandSel::kRhs0, analysis::OperandSel::kRhs1}) {
-            const ir::Operand& op = analysis::SelectOperand(st, sel);
-            if (!op.IsMemory()) continue;
-            auto addr = prog.ResolveAddr(op, iter);
-            if (!addr.has_value()) continue;
-            bool pred_l1_miss = cme.PredictMissL1(s, sel, iter);
-            bool actual_l1_miss = !l1[static_cast<std::size_t>(c)]->Access(*addr);
-            acc.l1_correct += pred_l1_miss == actual_l1_miss;
-            ++acc.l1_total;
-            if (actual_l1_miss) {
-              l1[static_cast<std::size_t>(c)]->Fill(*addr);
-              sim::NodeId home = amap.HomeBank(*addr);
-              bool pred_l2_miss = cme.PredictMissL2(s, sel, iter);
-              bool actual_l2_miss = !l2[static_cast<std::size_t>(home)]->Access(*addr);
-              acc.l2_correct += pred_l2_miss == actual_l2_miss;
-              ++acc.l2_total;
-              if (actual_l2_miss) l2[static_cast<std::size_t>(home)]->Fill(*addr);
-            }
-          }
-        }
-      }
-    }
-    for (const ir::Stmt& st : nest.body) {
-      for (const ir::Operand* o : {&st.rhs0, &st.rhs1, &st.lhs}) {
-        if (!o->IsMemory()) continue;
-        warm.insert(o->kind == ir::Operand::Kind::kIndirect ? o->target_array
-                                                            : o->access.array);
-      }
-    }
-  }
-  return acc;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  benchutil::Args args = benchutil::Parse(argc, argv, workloads::Scale::kSmall);
-  benchutil::PrintHeader("Table 2: CME hit/miss estimation accuracy", args);
-
-  std::printf("%-10s %8s %8s\n", "benchmark", "L1", "L2");
-  double l1_sum = 0, l2_sum = 0;
-  int n = 0;
-  benchutil::ForEachBenchmark(args, [&](const std::string& name) {
-    Accuracy a = Evaluate(name, args.scale);
-    std::printf("%-10s %7.1f%% %7.1f%%\n", name.c_str(), a.L1(), a.L2());
-    l1_sum += a.L1();
-    l2_sum += a.L2();
-    ++n;
-  });
-  if (n > 0) std::printf("%-10s %7.1f%% %7.1f%%\n", "average", l1_sum / n, l2_sum / n);
-  std::printf("\npaper averages: L1 81.1%%, L2 72.9%% (misses dominated by effects the\n"
-              "static estimator cannot see: cross-thread interleaving at the shared L2,\n"
-              "irregular indirection, and conflict-model approximations)\n");
-  return 0;
+  return ndc::benchutil::RunFigureMain("tab02", argc, argv,
+                                       ndc::workloads::Scale::kSmall);
 }

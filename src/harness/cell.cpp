@@ -1,0 +1,236 @@
+#include "harness/cell.hpp"
+
+#include <cstdio>
+
+#include "compiler/pipeline.hpp"
+
+namespace ndc::harness {
+
+const char* ScaleName(workloads::Scale s) {
+  switch (s) {
+    case workloads::Scale::kTest: return "test";
+    case workloads::Scale::kSmall: return "small";
+    case workloads::Scale::kFull: return "full";
+  }
+  return "?";
+}
+
+std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string CellSpec::SchemeLabel() const {
+  if (coarse_grain) return "CoarseGrain";
+  return metrics::SchemeName(scheme);
+}
+
+namespace {
+
+void AppendField(std::string& out, const char* name, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%llu;", name, static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string CellSpec::CanonicalString() const {
+  std::string out;
+  out.reserve(512);
+  out += "w=" + workload + ";";
+  out += "scale=";
+  out += ScaleName(scale);
+  out += ";";
+  AppendField(out, "seed", seed);
+  AppendField(out, "scheme", static_cast<std::uint64_t>(scheme));
+  AppendField(out, "coarse", coarse_grain ? 1 : 0);
+  AppendField(out, "reroute", allow_reroute ? 1 : 0);
+  AppendField(out, "ctrl", control_register);
+  // Every semantically relevant ArchConfig field. A field added to
+  // ArchConfig must be serialized here (or kCacheVersion bumped) or cached
+  // entries keyed before the change will silently collide with it.
+  AppendField(out, "mw", static_cast<std::uint64_t>(cfg.mesh_width));
+  AppendField(out, "mh", static_cast<std::uint64_t>(cfg.mesh_height));
+  AppendField(out, "iw", static_cast<std::uint64_t>(cfg.issue_width));
+  AppendField(out, "mol", static_cast<std::uint64_t>(cfg.max_outstanding_loads));
+  AppendField(out, "cl", cfg.compute_latency);
+  AppendField(out, "l1s", cfg.l1.size_bytes);
+  AppendField(out, "l1l", cfg.l1.line_bytes);
+  AppendField(out, "l1w", cfg.l1.ways);
+  AppendField(out, "l1t", cfg.l1.access_latency);
+  AppendField(out, "l2s", cfg.l2.size_bytes);
+  AppendField(out, "l2l", cfg.l2.line_bytes);
+  AppendField(out, "l2w", cfg.l2.ways);
+  AppendField(out, "l2t", cfg.l2.access_latency);
+  AppendField(out, "nrp", cfg.noc.router_pipeline);
+  AppendField(out, "nlb", static_cast<std::uint64_t>(cfg.noc.link_bytes));
+  AppendField(out, "mcs", static_cast<std::uint64_t>(cfg.num_mcs));
+  AppendField(out, "drh", cfg.dram.row_hit_latency);
+  AppendField(out, "drm", cfg.dram.row_miss_latency);
+  AppendField(out, "ddb", cfg.dram.data_beat);
+  AppendField(out, "dnr", cfg.dram.num_rows);
+  AppendField(out, "cfgctrl", cfg.control_register);
+  AppendField(out, "ste", static_cast<std::uint64_t>(cfg.service_table_entries));
+  AppendField(out, "ote", static_cast<std::uint64_t>(cfg.offload_table_entries));
+  AppendField(out, "dto", cfg.default_timeout);
+  AppendField(out, "cfgrr", cfg.allow_reroute ? 1 : 0);
+  AppendField(out, "addsub", cfg.restrict_ops_to_addsub ? 1 : 0);
+  return out;
+}
+
+std::string CellSpec::Key() const {
+  std::uint64_t h = Fnv1a(CanonicalString() + "|" + kCacheVersion);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+double CellResult::ImprovementPct() const {
+  return metrics::ImprovementPct(baseline_makespan, makespan);
+}
+
+double CellResult::L1MissRate() const {
+  std::uint64_t t = l1_hits + l1_misses;
+  return t ? static_cast<double>(l1_misses) / static_cast<double>(t) : 0.0;
+}
+
+double CellResult::L2MissRate() const {
+  std::uint64_t t = l2_hits + l2_misses;
+  return t ? static_cast<double>(l2_misses) / static_cast<double>(t) : 0.0;
+}
+
+std::uint64_t CellResult::Stat(const std::string& name) const {
+  auto it = stats.find(name);
+  return it == stats.end() ? 0 : it->second;
+}
+
+json::Value CellResult::ToJson() const {
+  json::Value v = json::Value::Object();
+  auto put = [&](const char* k, std::uint64_t x) { v.obj[k] = json::Value::Int(x); };
+  put("makespan", makespan);
+  put("baseline_makespan", baseline_makespan);
+  put("l1_hits", l1_hits);
+  put("l1_misses", l1_misses);
+  put("l2_hits", l2_hits);
+  put("l2_misses", l2_misses);
+  put("candidates", candidates);
+  put("local_l1_skips", local_l1_skips);
+  put("offloads", offloads);
+  put("ndc_success", ndc_success);
+  put("fallbacks", fallbacks);
+  json::Value locs = json::Value::Array();
+  for (std::uint64_t x : ndc_at_loc) locs.arr.push_back(json::Value::Int(x));
+  v.obj["ndc_at_loc"] = std::move(locs);
+  put("chains", chains);
+  put("planned", planned);
+  put("reuse_skips", reuse_skips);
+  put("legality_failures", legality_failures);
+  put("gating_failures", gating_failures);
+  put("transforms", transforms);
+  json::Value st = json::Value::Object();
+  for (const auto& [k, x] : stats) st.obj[k] = json::Value::Int(x);
+  v.obj["stats"] = std::move(st);
+  return v;
+}
+
+bool CellResult::FromJson(const json::Value& v, CellResult* out) {
+  if (!v.is_object()) return false;
+  CellResult r;
+  auto get = [&](const char* k, std::uint64_t* dst) {
+    const json::Value* f = v.Find(k);
+    if (f == nullptr) return false;
+    *dst = f->AsU64();
+    return true;
+  };
+  bool ok = true;
+  ok &= get("makespan", &r.makespan);
+  ok &= get("baseline_makespan", &r.baseline_makespan);
+  ok &= get("l1_hits", &r.l1_hits);
+  ok &= get("l1_misses", &r.l1_misses);
+  ok &= get("l2_hits", &r.l2_hits);
+  ok &= get("l2_misses", &r.l2_misses);
+  ok &= get("candidates", &r.candidates);
+  ok &= get("local_l1_skips", &r.local_l1_skips);
+  ok &= get("offloads", &r.offloads);
+  ok &= get("ndc_success", &r.ndc_success);
+  ok &= get("fallbacks", &r.fallbacks);
+  ok &= get("chains", &r.chains);
+  ok &= get("planned", &r.planned);
+  ok &= get("reuse_skips", &r.reuse_skips);
+  ok &= get("legality_failures", &r.legality_failures);
+  ok &= get("gating_failures", &r.gating_failures);
+  ok &= get("transforms", &r.transforms);
+  const json::Value* locs = v.Find("ndc_at_loc");
+  if (locs == nullptr || !locs->is_array() || locs->arr.size() != r.ndc_at_loc.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < r.ndc_at_loc.size(); ++i) {
+    r.ndc_at_loc[i] = locs->arr[i].AsU64();
+  }
+  const json::Value* st = v.Find("stats");
+  if (st == nullptr || !st->is_object()) return false;
+  for (const auto& [k, x] : st->obj) r.stats[k] = x.AsU64();
+  if (!ok) return false;
+  *out = r;
+  return true;
+}
+
+bool CellResult::operator==(const CellResult& o) const {
+  return makespan == o.makespan && baseline_makespan == o.baseline_makespan &&
+         l1_hits == o.l1_hits && l1_misses == o.l1_misses && l2_hits == o.l2_hits &&
+         l2_misses == o.l2_misses && candidates == o.candidates &&
+         local_l1_skips == o.local_l1_skips && offloads == o.offloads &&
+         ndc_success == o.ndc_success && fallbacks == o.fallbacks &&
+         ndc_at_loc == o.ndc_at_loc && chains == o.chains && planned == o.planned &&
+         reuse_skips == o.reuse_skips && legality_failures == o.legality_failures &&
+         gating_failures == o.gating_failures && transforms == o.transforms &&
+         stats == o.stats;
+}
+
+CellResult RunCell(const CellSpec& spec) {
+  metrics::Experiment exp(spec.workload, spec.scale, spec.cfg, spec.seed);
+  metrics::SchemeResult r;
+  bool compiled = spec.coarse_grain || spec.scheme == metrics::Scheme::kAlgorithm1 ||
+                  spec.scheme == metrics::Scheme::kAlgorithm2;
+  if (compiled) {
+    compiler::CompileOptions opt;
+    opt.mode = spec.coarse_grain ? compiler::Mode::kCoarseGrain
+               : spec.scheme == metrics::Scheme::kAlgorithm2
+                   ? compiler::Mode::kAlgorithm2
+                   : compiler::Mode::kAlgorithm1;
+    opt.allow_reroute = spec.allow_reroute;
+    opt.control_register = spec.control_register;
+    r = exp.RunCompiled(opt);
+  } else {
+    r = exp.Run(spec.scheme);
+  }
+
+  CellResult out;
+  out.makespan = r.run.makespan;
+  out.baseline_makespan = exp.Baseline().makespan;
+  out.l1_hits = r.run.l1_hits;
+  out.l1_misses = r.run.l1_misses;
+  out.l2_hits = r.run.l2_hits;
+  out.l2_misses = r.run.l2_misses;
+  out.candidates = r.run.candidates;
+  out.local_l1_skips = r.run.local_l1_skips;
+  out.offloads = r.run.offloads;
+  out.ndc_success = r.run.ndc_success;
+  out.fallbacks = r.run.fallbacks;
+  out.ndc_at_loc = r.run.ndc_at_loc;
+  out.chains = r.compile_report.chains;
+  out.planned = r.compile_report.planned;
+  out.reuse_skips = r.compile_report.reuse_skips;
+  out.legality_failures = r.compile_report.legality_failures;
+  out.gating_failures = r.compile_report.gating_failures;
+  out.transforms = r.compile_report.transforms;
+  out.stats = r.run.stats.all();
+  return out;
+}
+
+}  // namespace ndc::harness

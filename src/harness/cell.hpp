@@ -1,0 +1,101 @@
+#pragma once
+
+// One sweep cell = one (workload, scheme, scale, configuration) simulation.
+// A cell is fully self-contained: it builds its own metrics::Experiment from
+// a deterministic seed, so cells can run on any thread in any order and
+// still produce results byte-identical to a serial run.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "arch/config.hpp"
+#include "harness/json.hpp"
+#include "metrics/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ndc::harness {
+
+/// Folded into every cache key. Bump whenever simulator, compiler, or
+/// workload-generator semantics change in a way that alters measured
+/// numbers: entries keyed with the old version then miss (and are
+/// re-measured) instead of silently serving stale results.
+inline constexpr const char* kCacheVersion = "ndc-harness-1";
+
+const char* ScaleName(workloads::Scale s);
+
+struct CellSpec {
+  std::string workload;
+  workloads::Scale scale = workloads::Scale::kSmall;
+  std::uint64_t seed = 1;
+  metrics::Scheme scheme = metrics::Scheme::kBaseline;
+  /// Compile with Mode::kCoarseGrain instead of the scheme's mode
+  /// (Section 5.4 mapping-granularity ablation).
+  bool coarse_grain = false;
+  // Compiled schemes only (forwarded into CompileOptions):
+  bool allow_reroute = true;
+  std::uint8_t control_register = arch::kAllLocs;
+  /// Fully resolved configuration (any figure variant already applied).
+  arch::ArchConfig cfg;
+  /// Display label for configuration variants ("" = Table-1 defaults).
+  /// Deliberately NOT part of the cache key: two figures probing the same
+  /// resolved configuration under different labels share one cache entry.
+  std::string variant;
+
+  /// Scheme column label ("Oracle", "Algorithm-1", "coarse", ...).
+  std::string SchemeLabel() const;
+
+  /// Canonical serialization of every semantically relevant field
+  /// (including the full ArchConfig); the cache-key hash input.
+  std::string CanonicalString() const;
+
+  /// 16-hex-digit FNV-1a of CanonicalString() + kCacheVersion.
+  std::string Key() const;
+};
+
+/// The scalar results of one cell — the subset of runtime::RunResult and
+/// compiler::CompileReport every figure renders from, in a form that
+/// round-trips through the JSONL cache.
+struct CellResult {
+  std::uint64_t makespan = 0;
+  std::uint64_t baseline_makespan = 0;  ///< same workload/cfg, conventional
+
+  std::uint64_t l1_hits = 0, l1_misses = 0;
+  std::uint64_t l2_hits = 0, l2_misses = 0;
+
+  std::uint64_t candidates = 0, local_l1_skips = 0, offloads = 0;
+  std::uint64_t ndc_success = 0, fallbacks = 0;
+  std::array<std::uint64_t, arch::kNumLocs> ndc_at_loc{};
+
+  // Compiler report (compiled schemes; zero otherwise).
+  std::uint64_t chains = 0, planned = 0, reuse_skips = 0;
+  std::uint64_t legality_failures = 0, gating_failures = 0, transforms = 0;
+
+  /// Full merged component counters (sim::StatSet contents).
+  std::map<std::string, std::uint64_t> stats;
+
+  bool from_cache = false;  ///< set by the sweep engine; not serialized
+
+  /// Recomputed from the two makespans (never serialized, so cached and
+  /// fresh cells agree bit-for-bit).
+  double ImprovementPct() const;
+  double L1MissRate() const;
+  double L2MissRate() const;
+  std::uint64_t Stat(const std::string& name) const;
+
+  json::Value ToJson() const;
+  static bool FromJson(const json::Value& v, CellResult* out);
+
+  bool operator==(const CellResult& o) const;
+};
+
+/// Executes the cell: baseline run + the scheme's run (plus the observation
+/// run where the scheme needs a profile). Thread-safe with respect to other
+/// cells — the simulator has no global mutable state.
+CellResult RunCell(const CellSpec& spec);
+
+/// FNV-1a 64-bit (stable across platforms/runs; used for cache keys).
+std::uint64_t Fnv1a(const std::string& s);
+
+}  // namespace ndc::harness

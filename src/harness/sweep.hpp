@@ -1,0 +1,61 @@
+#pragma once
+
+// The sweep engine: fans a declarative SweepSpec (a list of fully resolved
+// cells) out across a work-stealing thread pool, consults the persistent
+// result cache before invoking the simulator, and returns results in spec
+// order — so a parallel sweep is cell-for-cell identical to a serial one.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/cache.hpp"
+#include "harness/cell.hpp"
+
+namespace ndc::harness {
+
+struct SweepSpec {
+  std::string figure;  ///< name of the figure/grid this sweep regenerates
+  std::vector<CellSpec> cells;
+};
+
+struct SweepOptions {
+  int jobs = 1;                         ///< worker threads (1 = run inline)
+  bool use_cache = true;
+  std::string cache_dir = ".ndc-cache";
+  bool progress = false;                ///< live progress/ETA lines on stderr
+};
+
+struct SweepSummary {
+  std::string figure;
+  int jobs = 1;
+  std::uint64_t cells = 0;
+  std::uint64_t cache_hits = 0;
+  /// Cells actually simulated this run (== cells - cache_hits). A warm
+  /// re-run of an already-measured grid reports 0 here.
+  std::uint64_t sim_invocations = 0;
+  std::uint64_t cache_load_errors = 0;
+  std::uint64_t elapsed_ms = 0;
+
+  json::Value ToJson() const;
+};
+
+struct SweepResult {
+  std::vector<CellResult> cells;  ///< one per SweepSpec cell, same order
+  SweepSummary summary;
+};
+
+SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& opt);
+
+/// One JSONL line per cell (spec fields + result + improvement), then a
+/// summary line. Returns false when the file cannot be written.
+bool ExportJsonl(const SweepSpec& spec, const SweepResult& result, const std::string& path);
+
+/// Flat CSV, one row per cell.
+bool ExportCsv(const SweepSpec& spec, const SweepResult& result, const std::string& path);
+
+/// Appends the summary as one JSONL line to `path` (for CI cache-hit
+/// verification across runs).
+bool AppendSummary(const SweepSummary& summary, const std::string& path);
+
+}  // namespace ndc::harness

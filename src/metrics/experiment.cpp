@@ -133,7 +133,9 @@ SchemeResult Experiment::RunCompiled(compiler::CompileOptions opt) {
   out.scheme = opt.mode == compiler::Mode::kAlgorithm2 ? Scheme::kAlgorithm2
                                                        : Scheme::kAlgorithm1;
   const runtime::RunResult& base = Baseline();
-  ir::Program prog = workloads::BuildWorkload(workload_, scale_, seed_);
+  // Compile mutates its input program, so copy the cached build instead of
+  // regenerating the workload from scratch.
+  ir::Program prog = base_program_;
   arch::ArchConfig cfg = cfg_;
   cfg.allow_reroute = opt.allow_reroute;
   cfg.control_register = opt.control_register;

@@ -1,0 +1,295 @@
+// src/harness unit tests: the JSON codec, cache-key semantics, CellResult
+// round-tripping, the on-disk result cache, the work-stealing pool, and the
+// warm-sweep zero-simulation guarantee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "harness/cache.hpp"
+#include "harness/figures.hpp"
+#include "harness/pool.hpp"
+#include "harness/sweep.hpp"
+
+namespace ndc::harness {
+namespace {
+
+// --------------------------------------------------------------- json ---
+
+TEST(Json, DumpIsDeterministicAndParsesBack) {
+  json::Value v = json::Value::Object();
+  v.obj["b"] = json::Value::Int(42);
+  v.obj["a"] = json::Value::Str("x\"y\n");
+  v.obj["c"] = json::Value::Array();
+  v.obj["c"].arr.push_back(json::Value::Bool(true));
+  v.obj["c"].arr.push_back(json::Value::Double(1.5));
+  v.obj["c"].arr.push_back(json::Value::Null());
+
+  std::string s = json::Dump(v);
+  EXPECT_EQ(s, "{\"a\":\"x\\\"y\\n\",\"b\":42,\"c\":[true,1.5,null]}");
+
+  json::Value back;
+  ASSERT_TRUE(json::Parse(s, &back));
+  EXPECT_EQ(json::Dump(back), s);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  json::Value v;
+  EXPECT_FALSE(json::Parse("{\"a\":}", &v));
+  EXPECT_FALSE(json::Parse("[1,2", &v));
+  EXPECT_FALSE(json::Parse("{} trailing", &v));
+  EXPECT_FALSE(json::Parse("", &v));
+}
+
+TEST(Json, RoundTripsLargeIntegersExactly) {
+  json::Value v = json::Value::Int(18446744073709551615ull);
+  json::Value back;
+  ASSERT_TRUE(json::Parse(json::Dump(v), &back));
+  EXPECT_EQ(back.AsU64(), 18446744073709551615ull);
+}
+
+// --------------------------------------------------------------- keys ---
+
+TEST(CellSpec, KeyIsStableAndSensitiveToSemanticFields) {
+  CellSpec a;
+  a.workload = "md";
+  a.scale = workloads::Scale::kTest;
+  a.scheme = metrics::Scheme::kOracle;
+
+  CellSpec b = a;
+  EXPECT_EQ(a.Key(), b.Key());
+
+  b.scheme = metrics::Scheme::kAlgorithm1;
+  EXPECT_NE(a.Key(), b.Key());
+
+  b = a;
+  b.cfg.l2.size_bytes *= 2;
+  EXPECT_NE(a.Key(), b.Key());
+
+  b = a;
+  b.seed = 7;
+  EXPECT_NE(a.Key(), b.Key());
+}
+
+// The variant display label is deliberately not hashed: two figures probing
+// the same resolved configuration share one cache entry.
+TEST(CellSpec, VariantLabelDoesNotChangeTheKey) {
+  CellSpec a;
+  a.workload = "md";
+  a.scale = workloads::Scale::kTest;
+  CellSpec b = a;
+  b.variant = "default-5x5";
+  EXPECT_EQ(a.Key(), b.Key());
+}
+
+// ------------------------------------------------------------- results ---
+
+CellResult SampleResult() {
+  CellResult r;
+  r.makespan = 123456;
+  r.baseline_makespan = 234567;
+  r.l1_hits = 10;
+  r.l1_misses = 3;
+  r.l2_hits = 7;
+  r.l2_misses = 2;
+  r.candidates = 99;
+  r.local_l1_skips = 5;
+  r.offloads = 42;
+  r.ndc_success = 40;
+  r.fallbacks = 2;
+  r.ndc_at_loc = {4, 3, 2, 1};
+  r.chains = 6;
+  r.planned = 5;
+  r.transforms = 8;
+  r.stats["noc.contention_cycles"] = 777;
+  r.stats["core.computes"] = 1234;
+  return r;
+}
+
+TEST(CellResult, JsonRoundTripPreservesEveryField) {
+  CellResult r = SampleResult();
+  json::Value v = r.ToJson();
+  CellResult back;
+  ASSERT_TRUE(CellResult::FromJson(v, &back));
+  EXPECT_TRUE(r == back);
+  EXPECT_EQ(back.Stat("noc.contention_cycles"), 777u);
+  EXPECT_EQ(back.Stat("missing.counter"), 0u);
+}
+
+TEST(CellResult, ImprovementPctHandlesZeroBaseline) {
+  CellResult r;
+  r.makespan = 100;
+  r.baseline_makespan = 0;
+  EXPECT_EQ(r.ImprovementPct(), 0.0);
+}
+
+// --------------------------------------------------------------- cache ---
+
+std::string UniqueCacheDir(const char* tag) {
+  return testing::TempDir() + "/ndc-harness-test-" + tag;
+}
+
+TEST(ResultCache, InsertThenLookupAcrossReopen) {
+  std::string dir = UniqueCacheDir("reopen");
+  std::remove((dir + "/results.jsonl").c_str());
+
+  CellSpec spec;
+  spec.workload = "md";
+  spec.scale = workloads::Scale::kTest;
+  spec.scheme = metrics::Scheme::kOracle;
+  CellResult r = SampleResult();
+
+  {
+    ResultCache cache(dir);
+    ASSERT_TRUE(cache.ok());
+    CellResult out;
+    EXPECT_FALSE(cache.Lookup(spec, &out));
+    cache.Insert(spec, r);
+    EXPECT_TRUE(cache.Lookup(spec, &out));
+    EXPECT_TRUE(out == r);
+  }
+  // A second process (re-open) sees the persisted entry, marked from_cache.
+  ResultCache cache(dir);
+  EXPECT_EQ(cache.load_errors(), 0u);
+  CellResult out;
+  ASSERT_TRUE(cache.Lookup(spec, &out));
+  EXPECT_TRUE(out.from_cache);
+  EXPECT_EQ(out.makespan, r.makespan);
+}
+
+TEST(ResultCache, CorruptLinesAreCountedAndSkipped) {
+  std::string dir = UniqueCacheDir("corrupt");
+  std::remove((dir + "/results.jsonl").c_str());
+  {
+    ResultCache cache(dir);  // creates the directory
+    ASSERT_TRUE(cache.ok());
+  }
+  std::FILE* f = std::fopen((dir + "/results.jsonl").c_str(), "a");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not json\n{\"key\":\n", f);
+  std::fclose(f);
+
+  ResultCache cache(dir);
+  EXPECT_EQ(cache.load_errors(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------- pool ---
+
+TEST(WorkStealingPool, RunsEveryTaskExactlyOnce) {
+  std::atomic<int> counter{0};
+  std::vector<std::atomic<int>> per_task(257);
+  for (auto& t : per_task) t = 0;
+  WorkStealingPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < per_task.size(); ++i) {
+    tasks.push_back([&, i] {
+      per_task[i].fetch_add(1);
+      counter.fetch_add(1);
+    });
+  }
+  pool.Run(std::move(tasks));
+  EXPECT_EQ(counter.load(), 257);
+  for (auto& t : per_task) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(WorkStealingPool, ParallelForCoversTheFullIndexRange) {
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h = 0;
+  WorkStealingPool::ParallelFor(3, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// --------------------------------------------------------------- sweep ---
+
+SweepSpec SmallSpec() {
+  SweepSpec spec;
+  spec.figure = "harness-test";
+  for (const char* w : {"md", "fft"}) {
+    for (metrics::Scheme s : {metrics::Scheme::kBaseline, metrics::Scheme::kOracle}) {
+      CellSpec cell;
+      cell.workload = w;
+      cell.scale = workloads::Scale::kTest;
+      cell.scheme = s;
+      spec.cells.push_back(cell);
+    }
+  }
+  return spec;
+}
+
+TEST(Sweep, WarmRerunPerformsZeroSimulatorInvocations) {
+  std::string dir = UniqueCacheDir("warm");
+  std::remove((dir + "/results.jsonl").c_str());
+  SweepSpec spec = SmallSpec();
+
+  SweepOptions opt;
+  opt.jobs = 2;
+  opt.cache_dir = dir;
+
+  SweepResult cold = RunSweep(spec, opt);
+  EXPECT_EQ(cold.summary.sim_invocations, spec.cells.size());
+  EXPECT_EQ(cold.summary.cache_hits, 0u);
+
+  SweepResult warm = RunSweep(spec, opt);
+  EXPECT_EQ(warm.summary.sim_invocations, 0u);
+  EXPECT_EQ(warm.summary.cache_hits, spec.cells.size());
+  ASSERT_EQ(warm.cells.size(), cold.cells.size());
+  for (std::size_t i = 0; i < cold.cells.size(); ++i) {
+    EXPECT_TRUE(warm.cells[i] == cold.cells[i]) << i;
+    EXPECT_TRUE(warm.cells[i].from_cache);
+  }
+}
+
+TEST(Sweep, UncachedParallelMatchesSerial) {
+  SweepSpec spec = SmallSpec();
+  SweepOptions serial;
+  serial.jobs = 1;
+  serial.use_cache = false;
+  SweepOptions parallel = serial;
+  parallel.jobs = 4;
+  SweepResult a = RunSweep(spec, serial);
+  SweepResult b = RunSweep(spec, parallel);
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    EXPECT_TRUE(a.cells[i] == b.cells[i]) << i;
+  }
+}
+
+// ------------------------------------------------------------- figures ---
+
+TEST(Figures, RegistryKnowsEveryPaperFigure) {
+  for (const char* name : {"fig02", "fig03", "fig04", "fig05", "fig06", "fig13", "fig14",
+                           "fig15", "fig16", "fig17", "tab02", "abl", "smoke"}) {
+    EXPECT_TRUE(HasFigure(name)) << name;
+  }
+  EXPECT_FALSE(HasFigure("fig99"));
+}
+
+TEST(Figures, ParallelRunRendersTheSameTableAsSerial) {
+  FigureOptions opt;
+  opt.scale = workloads::Scale::kTest;
+  opt.only = "md";
+  opt.use_cache = false;
+
+  testing::internal::CaptureStdout();
+  opt.jobs = 1;
+  ASSERT_EQ(RunFigure("fig04", opt), 0);
+  std::string serial = testing::internal::GetCapturedStdout();
+
+  testing::internal::CaptureStdout();
+  opt.jobs = 4;
+  ASSERT_EQ(RunFigure("fig04", opt), 0);
+  std::string parallel = testing::internal::GetCapturedStdout();
+
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Figures, UnknownFigureNameFails) {
+  FigureOptions opt;
+  EXPECT_EQ(RunFigure("not-a-figure", opt), 2);
+}
+
+}  // namespace
+}  // namespace ndc::harness

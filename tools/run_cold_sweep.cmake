@@ -1,0 +1,9 @@
+# Helper for the ndc_sweep_smoke_cold ctest: wipe the cache directory so the
+# cold run genuinely simulates every cell, then run the smoke sweep.
+file(REMOVE_RECURSE "${CACHE_DIR}")
+execute_process(
+  COMMAND "${SWEEP}" --figure=smoke --scale=test --jobs=2 --cache-dir=${CACHE_DIR}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold smoke sweep failed with exit code ${rc}")
+endif()
