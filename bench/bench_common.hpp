@@ -31,6 +31,7 @@ struct Args {
   bool progress = false;   ///< --progress: live progress/ETA lines on stderr
   std::string export_jsonl;
   std::string export_csv;
+  std::string export_obs;  ///< per-cell obs-summary directory ("" = off)
   std::string positional;  ///< leading positional name (ParseSpec::positional_name)
   bool all = false;        ///< --all (ParseSpec::allow_all)
 };
@@ -39,7 +40,7 @@ struct Args {
   std::fprintf(stderr,
                "usage: %s%s%s [--scale=test|small|full] [--bench=NAME] [--jobs=N]\n"
                "         [--no-cache] [--cache-dir=DIR] [--progress]\n"
-               "         [--export-jsonl=FILE] [--export-csv=FILE]\n",
+               "         [--export-jsonl=FILE] [--export-csv=FILE] [--export-obs=DIR]\n",
                prog, spec.positional_name ? " [WORKLOAD]" : "",
                spec.allow_all ? " [--all]" : "");
   std::exit(2);
@@ -84,6 +85,8 @@ inline Args Parse(int argc, char** argv, workloads::Scale default_scale,
       a.export_jsonl = arg + 15;
     } else if (std::strncmp(arg, "--export-csv=", 13) == 0) {
       a.export_csv = arg + 13;
+    } else if (std::strncmp(arg, "--export-obs=", 13) == 0) {
+      a.export_obs = arg + 13;
     } else if (spec.allow_all && std::strcmp(arg, "--all") == 0) {
       a.all = true;
     } else {
@@ -104,6 +107,7 @@ inline harness::FigureOptions ToFigureOptions(const Args& a) {
   opt.progress = a.progress;
   opt.export_jsonl = a.export_jsonl;
   opt.export_csv = a.export_csv;
+  opt.export_obs = a.export_obs;
   return opt;
 }
 

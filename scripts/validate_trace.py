@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate an ndc-trace JSON file against the Chrome trace-event schema.
+
+Checks the subset of the spec that chrome://tracing and Perfetto actually
+require to load a file: a top-level "traceEvents" array (non-empty), and on
+every event the keys ph/ts/pid/tid/name with sane types; 'X' events must
+also carry a numeric "dur". Exits 0 when valid, 1 otherwise, 2 on usage
+errors. Stdlib only — runs anywhere CI has a python3.
+
+Usage: validate_trace.py TRACE.json
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{path}: {e}")
+
+    if not isinstance(doc, dict):
+        return fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail('missing "traceEvents" array')
+    if not events:
+        return fail('"traceEvents" is empty')
+
+    phases = {}
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            return fail(f"event {i} is not an object")
+        for key in REQUIRED_KEYS:
+            if key not in e:
+                return fail(f"event {i} missing required key '{key}'")
+        if not isinstance(e["ph"], str) or len(e["ph"]) != 1:
+            return fail(f"event {i}: 'ph' must be a single-character string")
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(e[key], (int, float)):
+                return fail(f"event {i}: '{key}' must be numeric")
+        if not isinstance(e["name"], str) or not e["name"]:
+            return fail(f"event {i}: 'name' must be a non-empty string")
+        if e["ph"] == "X" and not isinstance(e.get("dur"), (int, float)):
+            return fail(f"event {i}: 'X' event missing numeric 'dur'")
+        phases[e["ph"]] = phases.get(e["ph"], 0) + 1
+
+    counts = " ".join(f"{ph}={n}" for ph, n in sorted(phases.items()))
+    print(f"validate_trace: OK: {len(events)} events ({counts})")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return validate(argv[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -124,16 +124,16 @@ void Core::TryDispatch() {
 void Core::DispatchSlot(std::uint32_t idx) {
   const Instr& in = trace_[idx];
   dispatched_[idx] = true;
-  stats_.Add("core.issued");
+  issued_ctr_.Add();
   sim::Cycle ready;
   switch (in.kind) {
     case Instr::Kind::kLoad:
       ++outstanding_loads_;
-      stats_.Add("core.loads");
+      loads_ctr_.Add();
       port_.IssueLoad(id_, idx, in.addr);
       break;
     case Instr::Kind::kStore:
-      stats_.Add("core.stores");
+      stores_ctr_.Add();
       if (DepsDone(in, &ready)) {
         port_.IssueStore(id_, idx, in.addr);
         Complete(idx, ready + 1);
@@ -146,7 +146,7 @@ void Core::DispatchSlot(std::uint32_t idx) {
       }
       break;
     case Instr::Kind::kCompute:
-      stats_.Add("core.computes");
+      computes_ctr_.Add();
       if (external_[idx]) break;  // machine completes it
       if (DepsDone(in, &ready)) {
         Complete(idx, ready + cfg_->compute_latency);
@@ -159,10 +159,19 @@ void Core::DispatchSlot(std::uint32_t idx) {
       }
       break;
     case Instr::Kind::kPreCompute:
-      stats_.Add("core.precomputes");
+      precomputes_ctr_.Add();
       port_.IssuePreCompute(id_, idx, in);
       break;
   }
+}
+
+void Core::MaterializeStats() {
+  stats_.Clear();
+  issued_ctr_.MaterializeInto(stats_, "core.issued");
+  loads_ctr_.MaterializeInto(stats_, "core.loads");
+  stores_ctr_.MaterializeInto(stats_, "core.stores");
+  computes_ctr_.MaterializeInto(stats_, "core.computes");
+  precomputes_ctr_.MaterializeInto(stats_, "core.precomputes");
 }
 
 }  // namespace ndc::arch

@@ -47,10 +47,17 @@ class Core {
   sim::Cycle done_cycle(std::uint32_t idx) const { return done_[idx]; }
   bool issued(std::uint32_t idx) const { return idx < next_; }
 
-  sim::StatSet& stats() { return stats_; }
+  /// Counter view, materialized lazily from raw per-dispatch counters (the
+  /// dispatch loop is the hottest counter path in the simulator; it must
+  /// never hash a string per instruction).
+  sim::StatSet& stats() {
+    MaterializeStats();
+    return stats_;
+  }
 
  private:
   void TryDispatch();
+  void MaterializeStats();
   /// Called once all deps of a dispatched, dep-waiting slot are complete.
   void ResolveWaiter(std::uint32_t idx);
   /// Dispatch-time handling once the slot's turn comes.
@@ -77,6 +84,7 @@ class Core {
   sim::Cycle finish_cycle_ = 0;
   bool retry_scheduled_ = false;
   sim::Cycle retry_cycle_ = 0;
+  sim::RawCounter issued_ctr_, loads_ctr_, stores_ctr_, computes_ctr_, precomputes_ctr_;
   sim::StatSet stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "compiler/pipeline.hpp"
+#include "obs/obs.hpp"
 
 namespace ndc::harness {
 
@@ -192,9 +193,10 @@ bool CellResult::operator==(const CellResult& o) const {
          stats == o.stats;
 }
 
-CellResult RunCell(const CellSpec& spec) {
-  metrics::Experiment exp(spec.workload, spec.scale, spec.cfg, spec.seed);
-  metrics::SchemeResult r;
+namespace {
+
+/// The compiled-vs-policy dispatch shared by RunCell and RunCellObsSummary.
+metrics::SchemeResult RunSpec(metrics::Experiment& exp, const CellSpec& spec) {
   bool compiled = spec.coarse_grain || spec.scheme == metrics::Scheme::kAlgorithm1 ||
                   spec.scheme == metrics::Scheme::kAlgorithm2;
   if (compiled) {
@@ -205,10 +207,16 @@ CellResult RunCell(const CellSpec& spec) {
                    : compiler::Mode::kAlgorithm1;
     opt.allow_reroute = spec.allow_reroute;
     opt.control_register = spec.control_register;
-    r = exp.RunCompiled(opt);
-  } else {
-    r = exp.Run(spec.scheme);
+    return exp.RunCompiled(opt);
   }
+  return exp.Run(spec.scheme);
+}
+
+}  // namespace
+
+CellResult RunCell(const CellSpec& spec) {
+  metrics::Experiment exp(spec.workload, spec.scale, spec.cfg, spec.seed);
+  metrics::SchemeResult r = RunSpec(exp, spec);
 
   CellResult out;
   out.makespan = r.run.makespan;
@@ -231,6 +239,58 @@ CellResult RunCell(const CellSpec& spec) {
   out.transforms = r.compile_report.transforms;
   out.stats = r.run.stats.all();
   return out;
+}
+
+json::Value RunCellObsSummary(const CellSpec& spec, std::uint64_t sample_period) {
+  json::Value v = json::Value::Object();
+  v.obj["workload"] = json::Value::Str(spec.workload);
+  v.obj["scheme"] = json::Value::Str(spec.SchemeLabel());
+  v.obj["scale"] = json::Value::Str(ScaleName(spec.scale));
+  v.obj["obs_enabled"] = json::Value::Bool(obs::kObsEnabled);
+  if constexpr (!obs::kObsEnabled) return v;
+
+  obs::ObsOptions oo;
+  oo.sample_period = sample_period;
+  oo.emit_stage_events = false;  // aggregate summary only; no timeline
+  obs::Observability ob(oo);
+  metrics::Experiment exp(spec.workload, spec.scale, spec.cfg, spec.seed);
+  exp.set_obs(&ob);
+  metrics::SchemeResult r = RunSpec(exp, spec);
+
+  v.obj["makespan"] = json::Value::Int(r.run.makespan);
+  v.obj["sample_period"] = json::Value::Int(ob.tracer.sample_period());
+  v.obj["requests_seen"] = json::Value::Int(ob.tracer.seen());
+  v.obj["requests_traced"] = json::Value::Int(ob.tracer.traced());
+  v.obj["requests_finished"] = json::Value::Int(ob.tracer.finished());
+  v.obj["requests_unfinished"] = json::Value::Int(ob.tracer.unfinished());
+  v.obj["total_end_to_end_cycles"] = json::Value::Int(ob.tracer.total_end_to_end());
+
+  json::Value stages = json::Value::Object();
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    const obs::RequestTracer::StageAgg& a = ob.tracer.aggregates()[i];
+    if (a.count == 0) continue;
+    json::Value e = json::Value::Object();
+    e.obj["count"] = json::Value::Int(a.count);
+    e.obj["cycles"] = json::Value::Int(a.cycles);
+    stages.obj[obs::StageName(static_cast<obs::Stage>(i))] = std::move(e);
+  }
+  v.obj["stages"] = std::move(stages);
+
+  json::Value kinds = json::Value::Object();
+  for (int i = 0; i < obs::kNumDecisionKinds; ++i) {
+    auto k = static_cast<obs::DecisionKind>(i);
+    if (ob.decisions.kind_count(k) == 0) continue;
+    kinds.obj[obs::DecisionKindName(k)] = json::Value::Int(ob.decisions.kind_count(k));
+  }
+  v.obj["decisions"] = std::move(kinds);
+  json::Value outcomes = json::Value::Object();
+  for (int i = 0; i < obs::kNumOutcomes; ++i) {
+    auto o = static_cast<obs::Outcome>(i);
+    if (ob.decisions.outcome_count(o) == 0) continue;
+    outcomes.obj[obs::OutcomeName(o)] = json::Value::Int(ob.decisions.outcome_count(o));
+  }
+  v.obj["outcomes"] = std::move(outcomes);
+  return v;
 }
 
 }  // namespace ndc::harness

@@ -95,6 +95,12 @@ struct CellResult {
 /// cells — the simulator has no global mutable state.
 CellResult RunCell(const CellSpec& spec);
 
+/// Re-simulates the cell with an observation bundle attached and returns a
+/// JSON summary: per-stage latency aggregates, request counts, and the NDC
+/// decision/outcome tallies. Used by `ndc-sweep --export-obs`. With
+/// NDC_OBS=OFF the summary only records that observation is compiled out.
+json::Value RunCellObsSummary(const CellSpec& spec, std::uint64_t sample_period = 1);
+
 /// FNV-1a 64-bit (stable across platforms/runs; used for cache keys).
 std::uint64_t Fnv1a(const std::string& s);
 

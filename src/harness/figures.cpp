@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "sim/stats.hpp"
 
@@ -516,6 +518,34 @@ const FigureEntry kFigures[] = {
      &RenderSmoke, nullptr},
 };
 
+/// `--export-obs`: re-runs every grid cell with an observation bundle and
+/// writes one stage-latency/decision summary JSON per cell. Deliberately
+/// outside the cached sweep — traced runs must never populate (or read) the
+/// scalar result cache.
+void ExportObsSummaries(const SweepSpec& spec, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "ndc-harness: cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return;
+  }
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    const CellSpec& c = spec.cells[i];
+    json::Value v = RunCellObsSummary(c);
+    char idx[16];
+    std::snprintf(idx, sizeof(idx), "%03zu", i);
+    std::string path = dir + "/" + spec.figure + "_" + idx + "_" + c.workload + "_" +
+                       c.SchemeLabel() + ".json";
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "ndc-harness: cannot write %s\n", path.c_str());
+      return;
+    }
+    f << json::Dump(v) << "\n";
+  }
+}
+
 }  // namespace
 
 const std::vector<FigureInfo>& Figures() {
@@ -556,6 +586,7 @@ int RunFigure(const std::string& name, const FigureOptions& opt, SweepSummary* s
       if (!opt.export_csv.empty() && !ExportCsv(spec, res, opt.export_csv)) {
         std::fprintf(stderr, "ndc-harness: cannot write %s\n", opt.export_csv.c_str());
       }
+      if (!opt.export_obs.empty()) ExportObsSummaries(spec, opt.export_obs);
       s = res.summary;
     } else {
       s = e.record(opt);

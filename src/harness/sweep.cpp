@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "harness/pool.hpp"
+#include "obs/phase.hpp"
 
 namespace ndc::harness {
 
@@ -24,6 +25,11 @@ json::Value SweepSummary::ToJson() const {
   v.obj["sim_invocations"] = json::Value::Int(sim_invocations);
   v.obj["cache_load_errors"] = json::Value::Int(cache_load_errors);
   v.obj["elapsed_ms"] = json::Value::Int(elapsed_ms);
+  if (!phase_ms.empty()) {
+    json::Value ph = json::Value::Object();
+    for (const auto& [k, ms] : phase_ms) ph.obj[k] = json::Value::Int(ms);
+    v.obj["phases"] = std::move(ph);
+  }
   return v;
 }
 
@@ -93,6 +99,7 @@ class ProgressReporter {
 
 SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& opt) {
   auto start = std::chrono::steady_clock::now();
+  obs::PhaseProfiler::Snapshot phase_base = obs::GlobalPhases().Take();
   SweepResult out;
   out.cells.resize(spec.cells.size());
   out.summary.figure = spec.figure;
@@ -135,6 +142,7 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& opt) {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+  out.summary.phase_ms = obs::GlobalPhases().Take().DeltaMsSince(phase_base);
   return out;
 }
 

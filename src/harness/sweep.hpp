@@ -6,6 +6,7 @@
 // order — so a parallel sweep is cell-for-cell identical to a serial one.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,11 @@ struct SweepSummary {
   std::uint64_t sim_invocations = 0;
   std::uint64_t cache_load_errors = 0;
   std::uint64_t elapsed_ms = 0;
+  /// Host wall-clock per phase (ms) accrued during this sweep, keyed by
+  /// obs::PhaseName. Empty when NDC_OBS=OFF or nothing was simulated; the
+  /// summary JSON omits the "phases" key in that case (byte-stable with
+  /// pre-observability output).
+  std::map<std::string, std::uint64_t> phase_ms;
 
   json::Value ToJson() const;
 };

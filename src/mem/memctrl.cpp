@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace ndc::mem {
 
@@ -13,7 +14,16 @@ MemCtrl::MemCtrl(sim::McId id, const AddressMap& amap, const DramParams& dram_pa
   bank_in_flight_.assign(banks_.size(), false);
 }
 
-void MemCtrl::EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done) {
+void MemCtrl::RegisterMetrics(obs::Registry& reg) {
+  if constexpr (!obs::kObsEnabled) return;
+  const std::string prefix = "mc." + std::to_string(id_) + "/";
+  m_reads_ = reg.counter(prefix + "reads");
+  m_row_hits_ = reg.counter(prefix + "row_hits");
+  m_queue_wait_ = reg.histogram(prefix + "queue_wait_cycles");
+}
+
+void MemCtrl::EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done,
+                          std::uint64_t obs_token) {
   Request r;
   r.tag = tag;
   r.addr = addr;
@@ -22,7 +32,11 @@ void MemCtrl::EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done) {
   r.is_write = false;
   r.enqueued_at = eq_.now();
   r.done = std::move(done);
-  stats_.Add("mc.reads");
+  r.obs_token = obs_token;
+  reads_.Add();
+  if constexpr (obs::kObsEnabled) {
+    if (m_reads_ != nullptr) m_reads_->Add();
+  }
   if (on_enqueue_) on_enqueue_(tag, addr, eq_.now());
   queue_.push_back(std::move(r));
   TrySchedule();
@@ -35,7 +49,7 @@ void MemCtrl::EnqueueWrite(sim::Addr addr) {
   r.row = amap_->DramRow(addr);
   r.is_write = true;
   r.enqueued_at = eq_.now();
-  stats_.Add("mc.writes");
+  writes_.Add();
   queue_.push_back(std::move(r));
   TrySchedule();
 }
@@ -79,15 +93,28 @@ void MemCtrl::IssueTo(int bank_idx, Request req) {
   auto b = static_cast<std::size_t>(bank_idx);
   bank_in_flight_[b] = true;
   bool row_hit = banks_[b].IsRowOpen(req.row);
-  stats_.Add(row_hit ? "mc.row_hits" : "mc.row_misses");
+  (row_hit ? row_hits_ : row_misses_).Add();
   sim::Cycle done_at = banks_[b].Access(eq_.now(), req.row);
-  stats_.Add("mc.queue_wait_cycles", eq_.now() - req.enqueued_at);
+  queue_wait_cycles_.Add(eq_.now() - req.enqueued_at);
+  if constexpr (obs::kObsEnabled) {
+    if (m_row_hits_ != nullptr && row_hit) m_row_hits_->Add();
+    if (m_queue_wait_ != nullptr) m_queue_wait_->Add(eq_.now() - req.enqueued_at);
+    if (tracer_ != nullptr && req.obs_token != 0) {
+      tracer_->Stamp(req.obs_token, obs::Stage::kMcIssue, eq_.now());
+      tracer_->NoteRowHit(req.obs_token, row_hit);
+    }
+  }
   in_service_addrs_.push_back(req.addr);
   eq_.ScheduleAt(done_at, [this, b, req = std::move(req)]() {
     auto it = std::find(in_service_addrs_.begin(), in_service_addrs_.end(), req.addr);
     if (it != in_service_addrs_.end()) in_service_addrs_.erase(it);
     bank_in_flight_[b] = false;
     if (!req.is_write) {
+      if constexpr (obs::kObsEnabled) {
+        if (tracer_ != nullptr && req.obs_token != 0) {
+          tracer_->Stamp(req.obs_token, obs::Stage::kDramReady, eq_.now());
+        }
+      }
       if (on_ready_) on_ready_(req.tag, req.addr, eq_.now());
       if (req.done) req.done(req.tag, eq_.now());
     }
@@ -95,11 +122,25 @@ void MemCtrl::IssueTo(int bank_idx, Request req) {
   });
 }
 
+void MemCtrl::MaterializeStats() const {
+  stats_.Clear();
+  reads_.MaterializeInto(stats_, "mc.reads");
+  writes_.MaterializeInto(stats_, "mc.writes");
+  row_hits_.MaterializeInto(stats_, "mc.row_hits");
+  row_misses_.MaterializeInto(stats_, "mc.row_misses");
+  queue_wait_cycles_.MaterializeInto(stats_, "mc.queue_wait_cycles");
+}
+
 void MemCtrl::Reset() {
   for (DramBank& b : banks_) b.Reset();
   std::fill(bank_in_flight_.begin(), bank_in_flight_.end(), false);
   queue_.clear();
   in_service_addrs_.clear();
+  reads_.Reset();
+  writes_.Reset();
+  row_hits_.Reset();
+  row_misses_.Reset();
+  queue_wait_cycles_.Reset();
   stats_.Clear();
 }
 

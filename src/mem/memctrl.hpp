@@ -7,6 +7,8 @@
 
 #include "mem/address_map.hpp"
 #include "mem/dram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -33,8 +35,10 @@ class MemCtrl {
   sim::McId id() const { return id_; }
 
   /// Enqueues a read of `addr`; `done` fires when the data is at the
-  /// controller (before any NoC response hop).
-  void EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done);
+  /// controller (before any NoC response hop). `obs_token` identifies the
+  /// originating traced request (0 = untraced).
+  void EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done,
+                   std::uint64_t obs_token = 0);
 
   /// Enqueues a write (fire-and-forget; occupies the bank but has no
   /// completion consumer).
@@ -52,11 +56,26 @@ class MemCtrl {
   /// Hook invoked when a request's data is ready at the controller.
   void set_ready_hook(QueueHook h) { on_ready_ = std::move(h); }
 
+  /// Traced reads stamp FR-FCFS issue and DRAM-ready on `tracer` (may be null).
+  void set_request_tracer(obs::RequestTracer* tracer) { tracer_ = tracer; }
+
+  /// Registers this controller's counters ("mc.<id>/reads", ...) and its
+  /// queue-wait histogram under `reg`; handles are pre-resolved.
+  void RegisterMetrics(obs::Registry& reg);
+
   const DramBank& bank(int i) const { return banks_[static_cast<std::size_t>(i)]; }
   int num_banks() const { return static_cast<int>(banks_.size()); }
 
-  sim::StatSet& stats() { return stats_; }
-  const sim::StatSet& stats() const { return stats_; }
+  /// Counter view, materialized lazily from raw per-event counters; key set
+  /// and values match the historical eager StatSet exactly.
+  sim::StatSet& stats() {
+    MaterializeStats();
+    return stats_;
+  }
+  const sim::StatSet& stats() const {
+    MaterializeStats();
+    return stats_;
+  }
 
   void Reset();
 
@@ -69,10 +88,12 @@ class MemCtrl {
     bool is_write = false;
     sim::Cycle enqueued_at = 0;
     DoneFn done;
+    std::uint64_t obs_token = 0;
   };
 
   void TrySchedule();
   void IssueTo(int bank_idx, Request req);
+  void MaterializeStats() const;
 
   sim::McId id_;
   const AddressMap* amap_;
@@ -83,7 +104,12 @@ class MemCtrl {
   std::vector<sim::Addr> in_service_addrs_;
   QueueHook on_enqueue_;
   QueueHook on_ready_;
-  sim::StatSet stats_;
+  obs::RequestTracer* tracer_ = nullptr;
+  obs::Counter* m_reads_ = nullptr;
+  obs::Counter* m_row_hits_ = nullptr;
+  obs::Histogram* m_queue_wait_ = nullptr;
+  sim::RawCounter reads_, writes_, row_hits_, row_misses_, queue_wait_cycles_;
+  mutable sim::StatSet stats_;
 };
 
 }  // namespace ndc::mem

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "compiler/codegen.hpp"
+#include "obs/phase.hpp"
 
 namespace ndc::metrics {
 
@@ -33,11 +34,13 @@ double ImprovementPct(sim::Cycle base, sim::Cycle t) {
 Experiment::Experiment(std::string workload, workloads::Scale scale, arch::ArchConfig cfg,
                        std::uint64_t seed)
     : workload_(std::move(workload)), scale_(scale), cfg_(cfg), seed_(seed) {
+  obs::ScopedPhase phase(obs::Phase::kBuildWorkload);
   base_program_ = workloads::BuildWorkload(workload_, scale_, seed_);
 }
 
 const std::vector<arch::Trace>& Experiment::BaselineTraces() {
   if (base_traces_.empty()) {
+    obs::ScopedPhase phase(obs::Phase::kLowerTraces);
     base_traces_ = compiler::Lower(base_program_, cfg_.num_nodes(), &cfg_).traces;
   }
   return base_traces_;
@@ -45,6 +48,7 @@ const std::vector<arch::Trace>& Experiment::BaselineTraces() {
 
 runtime::RunResult Experiment::RunTraces(const std::vector<arch::Trace>& traces,
                                          runtime::MachineOptions opts) {
+  obs::ScopedPhase phase(obs::Phase::kSimulate);
   runtime::Machine m(cfg_, opts);
   m.LoadProgram(traces);
   return m.Run();
@@ -75,7 +79,15 @@ SchemeResult Experiment::Run(Scheme scheme) {
 
   switch (scheme) {
     case Scheme::kBaseline:
-      out.run = base;
+      if (obs_ != nullptr) {
+        // The cached baseline carries no observation data; re-simulate so
+        // the requested trace/audit reflects this very scheme.
+        runtime::MachineOptions bopts;
+        bopts.obs = obs_;
+        out.run = RunTraces(BaselineTraces(), bopts);
+      } else {
+        out.run = base;
+      }
       out.improvement_pct = 0.0;
       return out;
     case Scheme::kAlgorithm1: {
@@ -123,6 +135,7 @@ SchemeResult Experiment::Run(Scheme scheme) {
   }
   runtime::MachineOptions opts;
   opts.policy = policy.get();
+  opts.obs = obs_;
   out.run = RunTraces(BaselineTraces(), opts);
   out.improvement_pct = ImprovementPct(base.makespan, out.run.makespan);
   return out;
@@ -140,9 +153,16 @@ SchemeResult Experiment::RunCompiled(compiler::CompileOptions opt) {
   cfg.allow_reroute = opt.allow_reroute;
   cfg.control_register = opt.control_register;
   compiler::ArchDescription ad(cfg);
-  out.compile_report = compiler::Compile(prog, ad, opt);
-  std::vector<arch::Trace> traces = compiler::Lower(prog, cfg.num_nodes(), &cfg).traces;
-  runtime::Machine m(cfg, {});
+  std::vector<arch::Trace> traces;
+  {
+    obs::ScopedPhase phase(obs::Phase::kCompile);
+    out.compile_report = compiler::Compile(prog, ad, opt);
+    traces = compiler::Lower(prog, cfg.num_nodes(), &cfg).traces;
+  }
+  obs::ScopedPhase phase(obs::Phase::kSimulate);
+  runtime::MachineOptions mopts;
+  mopts.obs = obs_;
+  runtime::Machine m(cfg, mopts);
   m.LoadProgram(traces);
   out.run = m.Run();
   out.improvement_pct = ImprovementPct(base.makespan, out.run.makespan);

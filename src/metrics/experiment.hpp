@@ -7,6 +7,7 @@
 #include "compiler/pipeline.hpp"
 #include "ndc/machine.hpp"
 #include "ndc/policy.hpp"
+#include "obs/obs.hpp"
 #include "workloads/workloads.hpp"
 
 namespace ndc::metrics {
@@ -62,6 +63,12 @@ class Experiment {
   /// The traces of the original program (baseline schedule).
   const std::vector<arch::Trace>& BaselineTraces();
 
+  /// Attaches an observation bundle to subsequent Run()/RunCompiled() calls:
+  /// the *measured* scheme run is traced (never the cached baseline/observe
+  /// profile runs, except that Run(kBaseline) re-simulates fresh so the
+  /// baseline itself can be observed). Null detaches.
+  void set_obs(obs::Observability* o) { obs_ = o; }
+
  private:
   runtime::RunResult RunTraces(const std::vector<arch::Trace>& traces,
                                runtime::MachineOptions opts);
@@ -76,6 +83,7 @@ class Experiment {
   runtime::RunResult baseline_;
   bool have_observe_ = false;
   runtime::RunResult observe_;
+  obs::Observability* obs_ = nullptr;
 };
 
 /// Percentage improvement of `t` over baseline `base` (positive = faster,

@@ -56,6 +56,14 @@ Machine::Machine(const arch::ArchConfig& cfg, MachineOptions opts)
   site_to_uid_.resize(static_cast<std::size_t>(n));
   active_offloads_.assign(static_cast<std::size_t>(n), 0);
   if (opts_.observe) records_ = std::make_shared<RunRecord>(n);
+  if (ObsOn()) {
+    net_->set_request_tracer(&opts_.obs->tracer);
+    net_->RegisterMetrics(opts_.obs->registry);
+    for (auto& m : mcs_) {
+      m->set_request_tracer(&opts_.obs->tracer);
+      m->RegisterMetrics(opts_.obs->registry);
+    }
+  }
 }
 
 Machine::~Machine() = default;
@@ -103,7 +111,7 @@ RunResult Machine::Run(sim::Cycle limit) {
   r.events = eq_.executed();
   for (auto& c : cores_) {
     if (c->trace().empty()) continue;
-    if (!c->finished()) stats_.Add("run.incomplete_cores");
+    if (!c->finished()) incomplete_cores_.Add();
     r.makespan = std::max(r.makespan, c->finish_cycle());
   }
   for (auto& cache : l1_) {
@@ -114,12 +122,13 @@ RunResult Machine::Run(sim::Cycle limit) {
     r.l2_hits += cache->hits();
     r.l2_misses += cache->misses();
   }
-  r.candidates = stats_.Get("ndc.candidates");
-  r.local_l1_skips = stats_.Get("ndc.local_l1_skips");
-  r.offloads = stats_.Get("ndc.offloads");
-  r.ndc_success = stats_.Get("ndc.success");
-  r.fallbacks = stats_.Get("ndc.fallbacks");
+  r.candidates = candidates_.v;
+  r.local_l1_skips = local_l1_skips_.v;
+  r.offloads = offloads_.v;
+  r.ndc_success = success_.v;
+  r.fallbacks = fallbacks_.v;
   r.ndc_at_loc = ndc_at_loc_;
+  MaterializeStats();
   r.stats = stats_;
   for (const auto& [k, v] : net_->stats().all()) r.stats.Add(k, v);
   for (auto& m : mcs_) {
@@ -128,6 +137,10 @@ RunResult Machine::Run(sim::Cycle limit) {
   if (opts_.observe) {
     FinalizeRecords(r);
     r.records = records_;
+  }
+  if (ObsOn()) {
+    opts_.obs->EndRun(eq_.now());
+    MirrorRegistry(r);
   }
   return r;
 }
@@ -138,6 +151,8 @@ RunResult Machine::Run(sim::Cycle limit) {
 
 void Machine::IssueLoad(sim::NodeId core, std::uint32_t idx, sim::Addr addr) {
   auto c = static_cast<std::size_t>(core);
+  std::uint64_t rtok = 0;
+  if (ObsOn()) rtok = opts_.obs->tracer.Begin(core, idx, addr, eq_.now());
   Instance* inst = nullptr;
   int operand = -1;
   std::int32_t lc = load_to_cand_[c][idx];
@@ -173,9 +188,13 @@ void Machine::IssueLoad(sim::NodeId core, std::uint32_t idx, sim::Addr addr) {
     }
   }
 
+  if (inst != nullptr && operand >= 0 && rtok != 0) {
+    inst->obs_tok[static_cast<std::size_t>(operand)] = rtok;
+  }
   bool hit = l1_[c]->Access(addr);
   if (hit) {
     sim::Cycle done = eq_.now() + cfg_.l1.access_latency;
+    if (ObsOn() && rtok != 0) opts_.obs->tracer.Finish(rtok, obs::Stage::kL1Hit, done);
     cores_[c]->Complete(idx, done);
     if (inst != nullptr) {
       std::uint64_t uid = inst->uid;
@@ -186,9 +205,9 @@ void Machine::IssueLoad(sim::NodeId core, std::uint32_t idx, sim::Addr addr) {
     return;
   }
   std::uint64_t uid = inst ? inst->uid : 0;
-  eq_.ScheduleAfter(cfg_.l1.access_latency, [this, core, idx, addr, uid, operand] {
+  eq_.ScheduleAfter(cfg_.l1.access_latency, [this, core, idx, addr, uid, operand, rtok] {
     Instance* i2 = uid ? InstanceByUid(uid) : nullptr;
-    StartL1Miss(core, idx, addr, i2, operand);
+    StartL1Miss(core, idx, addr, i2, operand, rtok);
   });
 }
 
@@ -224,7 +243,8 @@ void Machine::IssuePreCompute(sim::NodeId core, std::uint32_t idx, const arch::I
 // ---------------------------------------------------------------------------
 
 void Machine::SendLocal(sim::NodeId from, sim::NodeId to, int bytes, noc::Route route,
-                        std::uint64_t tag, int kind, noc::Network::DeliverFn fn) {
+                        std::uint64_t tag, int kind, noc::Network::DeliverFn fn,
+                        std::uint64_t rtok) {
   if (from == to) {
     eq_.ScheduleAfter(cfg_.noc.router_pipeline, [fn = std::move(fn)] {
       noc::Packet p;
@@ -239,64 +259,80 @@ void Machine::SendLocal(sim::NodeId from, sim::NodeId to, int bytes, noc::Route 
   p.route = std::move(route);
   p.tag = tag;
   p.kind = kind;
+  p.obs_token = rtok;
   net_->Send(std::move(p), std::move(fn));
 }
 
 void Machine::StartL1Miss(sim::NodeId core, std::uint32_t idx, sim::Addr addr, Instance* inst,
-                          int operand) {
+                          int operand, std::uint64_t rtok) {
   (void)operand;
+  if (ObsOn() && rtok != 0) opts_.obs->tracer.Stamp(rtok, obs::Stage::kL1Miss, eq_.now());
   sim::NodeId home = amap_.HomeBank(addr);
   std::uint64_t tag = inst ? Tag(inst->uid, operand) : 0;
   if (home == core) {
-    AccessL2(home, core, idx, addr, tag);
+    AccessL2(home, core, idx, addr, tag, rtok);
     return;
   }
   SendLocal(core, home, 8, {}, tag, kReq,
-            [this, home, core, idx, addr, tag](const noc::Packet&, sim::Cycle) {
-              AccessL2(home, core, idx, addr, tag);
-            });
+            [this, home, core, idx, addr, tag, rtok](const noc::Packet&, sim::Cycle) {
+              AccessL2(home, core, idx, addr, tag, rtok);
+            },
+            rtok);
 }
 
 void Machine::AccessL2(sim::NodeId home, sim::NodeId core, std::uint32_t idx, sim::Addr addr,
-                       std::uint64_t tag) {
+                       std::uint64_t tag, std::uint64_t rtok) {
+  if (ObsOn() && rtok != 0) opts_.obs->tracer.Stamp(rtok, obs::Stage::kReqAtHome, eq_.now());
   auto h = static_cast<std::size_t>(home);
   sim::Cycle start = std::max(eq_.now(), l2_busy_until_[h]);
   l2_busy_until_[h] = start + 2;  // bank occupancy (pipelined)
   bool hit = l2_[h]->Access(addr);
   sim::Cycle ready = start + cfg_.l2.access_latency;
   if (hit) {
-    eq_.ScheduleAt(ready, [this, home, core, idx, addr, tag] {
-      L2DataReady(home, core, idx, addr, tag);
+    eq_.ScheduleAt(ready, [this, home, core, idx, addr, tag, rtok] {
+      if (ObsOn() && rtok != 0) opts_.obs->tracer.Stamp(rtok, obs::Stage::kL2Hit, eq_.now());
+      L2DataReady(home, core, idx, addr, tag, rtok);
     });
     return;
   }
-  eq_.ScheduleAt(ready, [this, home, core, idx, addr, tag] {
+  eq_.ScheduleAt(ready, [this, home, core, idx, addr, tag, rtok] {
+    if (ObsOn() && rtok != 0) opts_.obs->tracer.Stamp(rtok, obs::Stage::kL2Miss, eq_.now());
     sim::McId m = amap_.Mc(addr);
     sim::NodeId mc_node = mc_nodes_[static_cast<std::size_t>(m)];
     SendLocal(home, mc_node, 8, {}, tag, kReqToMc,
-              [this, m, home, core, idx, addr, tag](const noc::Packet&, sim::Cycle) {
+              [this, m, home, core, idx, addr, tag, rtok](const noc::Packet&, sim::Cycle) {
+                if (ObsOn() && rtok != 0) {
+                  opts_.obs->tracer.Stamp(rtok, obs::Stage::kMcEnqueue, eq_.now());
+                }
                 mcs_[static_cast<std::size_t>(m)]->EnqueueRead(
-                    tag, addr, [this, m, home, core, idx, addr, tag](std::uint64_t, sim::Cycle) {
-                      McDataReady(m, home, core, idx, addr, tag);
-                    });
-              });
+                    tag, addr,
+                    [this, m, home, core, idx, addr, tag, rtok](std::uint64_t, sim::Cycle) {
+                      McDataReady(m, home, core, idx, addr, tag, rtok);
+                    },
+                    rtok);
+              },
+              rtok);
   });
 }
 
 void Machine::McDataReady(sim::McId mc, sim::NodeId home, sim::NodeId core, std::uint32_t idx,
-                          sim::Addr addr, std::uint64_t tag) {
+                          sim::Addr addr, std::uint64_t tag, std::uint64_t rtok) {
   sim::NodeId mc_node = mc_nodes_[static_cast<std::size_t>(mc)];
-  auto forward = [this, mc_node, home, core, idx, addr, tag] {
+  auto forward = [this, mc_node, home, core, idx, addr, tag, rtok] {
     Instance* inst = tag ? InstanceByUid(TagUid(tag)) : nullptr;
     noc::Route route;
     if (inst != nullptr && inst->offloaded && inst->planned == Loc::kLinkBuffer) {
       route = inst->route_mc_to_home[static_cast<std::size_t>(TagOperand(tag))];
     }
     SendLocal(mc_node, home, 256, std::move(route), tag, kRespToHome,
-              [this, home, core, idx, addr, tag](const noc::Packet&, sim::Cycle) {
+              [this, home, core, idx, addr, tag, rtok](const noc::Packet&, sim::Cycle) {
+                if (ObsOn() && rtok != 0) {
+                  opts_.obs->tracer.Stamp(rtok, obs::Stage::kHomeRefill, eq_.now());
+                }
                 l2_[static_cast<std::size_t>(home)]->Fill(addr);
-                L2DataReady(home, core, idx, addr, tag);
-              });
+                L2DataReady(home, core, idx, addr, tag, rtok);
+              },
+              rtok);
   };
 
   if (tag != 0) {
@@ -319,9 +355,9 @@ void Machine::McDataReady(sim::McId mc, sim::NodeId home, sim::NodeId core, std:
 }
 
 void Machine::L2DataReady(sim::NodeId home, sim::NodeId core, std::uint32_t idx,
-                          sim::Addr addr, std::uint64_t tag) {
-  auto forward = [this, home, core, idx, addr, tag] {
-    SendResponseToCore(home, core, idx, addr, tag);
+                          sim::Addr addr, std::uint64_t tag, std::uint64_t rtok) {
+  auto forward = [this, home, core, idx, addr, tag, rtok] {
+    SendResponseToCore(home, core, idx, addr, tag, rtok);
   };
   if (tag != 0) {
     if (Instance* inst = InstanceByUid(TagUid(tag))) {
@@ -348,22 +384,24 @@ void Machine::L2DataReady(sim::NodeId home, sim::NodeId core, std::uint32_t idx,
 }
 
 void Machine::SendResponseToCore(sim::NodeId home, sim::NodeId core, std::uint32_t idx,
-                                 sim::Addr addr, std::uint64_t tag) {
+                                 sim::Addr addr, std::uint64_t tag, std::uint64_t rtok) {
   Instance* inst = tag ? InstanceByUid(TagUid(tag)) : nullptr;
   noc::Route route;
   if (inst != nullptr && inst->offloaded && inst->planned == Loc::kLinkBuffer) {
     route = inst->route_home_to_core[static_cast<std::size_t>(TagOperand(tag))];
   }
   SendLocal(home, core, 64, std::move(route), tag, kRespToCore,
-            [this, core, idx, addr, tag](const noc::Packet&, sim::Cycle) {
-              DeliverToCore(core, idx, addr, tag);
-            });
+            [this, core, idx, addr, tag, rtok](const noc::Packet&, sim::Cycle) {
+              DeliverToCore(core, idx, addr, tag, rtok);
+            },
+            rtok);
 }
 
 void Machine::DeliverToCore(sim::NodeId core, std::uint32_t idx, sim::Addr addr,
-                            std::uint64_t tag) {
+                            std::uint64_t tag, std::uint64_t rtok) {
   l1_[static_cast<std::size_t>(core)]->Fill(addr);
   sim::Cycle now = eq_.now();
+  if (ObsOn() && rtok != 0) opts_.obs->tracer.Finish(rtok, obs::Stage::kDeliver, now);
   cores_[static_cast<std::size_t>(core)]->Complete(idx, now);
   if (tag != 0) {
     if (Instance* inst = InstanceByUid(TagUid(tag))) {
@@ -384,7 +422,7 @@ void Machine::OnSecondLoadIssued(sim::NodeId core, const CandInfo& cand, sim::Ad
       inst->offloaded) {
     return;  // already decided (defensive)
   }
-  stats_.Add("ndc.candidates");
+  candidates_.Add();
 
   auto c = static_cast<std::size_t>(core);
   // LD/ST-unit local-cache probe (Section 2): if an operand is already in
@@ -392,7 +430,8 @@ void Machine::OnSecondLoadIssued(sim::NodeId core, const CandInfo& cand, sim::Ad
   if (l1_[c]->Contains(a) || l1_[c]->Contains(b)) {
     inst->local_l1 = true;
     inst->state = InstState::kConventional;
-    stats_.Add("ndc.local_l1_skips");
+    local_l1_skips_.Add();
+    RecordDecision(*inst, obs::DecisionKind::kLocalL1Skip, -1);
     return;
   }
 
@@ -405,10 +444,15 @@ void Machine::OnSecondLoadIssued(sim::NodeId core, const CandInfo& cand, sim::Ad
       inst->obs[static_cast<std::size_t>(l)].feasible =
           (inst->feasible_mask >> l) & 1;
     }
+    RecordDecision(*inst, obs::DecisionKind::kDeclined, -1);
     return;
   }
 
   Decision d;
+  // The audit entry captures the *binding* reason a candidate ran
+  // conventionally (the last gate that flipped the decision).
+  obs::DecisionKind why = obs::DecisionKind::kDeclined;
+  std::int8_t why_loc = -1;
   if (cand.is_precompute && opts_.honor_precompute) {
     const arch::Instr& site = cores_[c]->trace()[cand.site_idx];
     std::uint8_t allowed = inst->feasible_mask & cfg_.control_register;
@@ -417,29 +461,41 @@ void Machine::OnSecondLoadIssued(sim::NodeId core, const CandInfo& cand, sim::Ad
       d.loc = site.planned_loc;
       d.timeout = site.timeout ? site.timeout : cfg_.default_timeout;
     } else {
-      stats_.Add("ndc.plan_infeasible");
+      plan_infeasible_.Add();
+      why = obs::DecisionKind::kPlanInfeasible;
+      why_loc = static_cast<std::int8_t>(site.planned_loc);
     }
   } else if (opts_.policy != nullptr) {
     d = opts_.policy->Decide(core, cand.site_idx, inst->pc, a, b, inst->feasible_mask);
   }
 
-  if (cfg_.restrict_ops_to_addsub && !arch::IsAddSub(inst->op)) d.offload = false;
+  if (cfg_.restrict_ops_to_addsub && !arch::IsAddSub(inst->op)) {
+    if (d.offload) {
+      why = obs::DecisionKind::kOpRestricted;
+      why_loc = static_cast<std::int8_t>(d.loc);
+    }
+    d.offload = false;
+  }
 
   // LD/ST-unit offload table capacity (Section 2).
   if (d.offload && active_offloads_[c] >= cfg_.offload_table_entries) {
-    stats_.Add("ndc.offload_table_full");
+    offload_table_full_.Add();
+    why = obs::DecisionKind::kOffloadTableFull;
+    why_loc = static_cast<std::int8_t>(d.loc);
     d.offload = false;
   }
 
   if (!d.offload) {
     inst->state = InstState::kConventional;
+    RecordDecision(*inst, why, why_loc);
     return;
   }
   inst->offloaded = true;
   inst->planned = d.loc;
   inst->timeout = std::max<sim::Cycle>(1, d.timeout);
   ++active_offloads_[c];
-  stats_.Add("ndc.offloads");
+  offloads_.Add();
+  RecordDecision(*inst, obs::DecisionKind::kOffload, static_cast<std::int8_t>(d.loc));
   PlanRoutes(*inst);
   if (!cand.is_precompute) cores_[c]->MarkExternal(cand.site_idx);
 }
@@ -551,11 +607,13 @@ noc::HopAction Machine::OnHop(noc::Packet& p, sim::LinkId link, sim::Cycle now) 
     case InstState::kPending: {
       if (inst->at_core[static_cast<std::size_t>(other)] != sim::kNeverCycle) {
         inst->state = InstState::kAborted;  // partner already done at core
+        ResolveDecision(*inst, obs::Outcome::kFallbackPartnerDone, -1);
         return noc::HopAction::kContinue;
       }
       if (!ServiceTableReserve(Loc::kLinkBuffer, link)) {
-        stats_.Add("ndc.service_table_full");
+        service_table_full_.Add();
         inst->state = InstState::kAborted;
+        ResolveDecision(*inst, obs::Outcome::kFallbackServiceTableFull, -1);
         return noc::HopAction::kContinue;
       }
       inst->state = InstState::kWaiting;
@@ -569,7 +627,7 @@ noc::HopAction Machine::OnHop(noc::Packet& p, sim::LinkId link, sim::Cycle now) 
       eq_.ScheduleAfter(inst->timeout, [this, uid, token] {
         Instance* i2 = InstanceByUid(uid);
         if (i2 != nullptr && i2->state == InstState::kWaiting && i2->wait_token == token) {
-          AbortWait(*i2, "timeout");
+          AbortWait(*i2, AbortReason::kTimeout);
         }
       });
       return noc::HopAction::kHold;
@@ -599,11 +657,13 @@ bool Machine::OnOperandAtLoc(Instance& inst, int operand, Loc loc, sim::NodeId n
     case InstState::kPending: {
       if (inst.at_core[static_cast<std::size_t>(other)] != sim::kNeverCycle) {
         inst.state = InstState::kAborted;
+        ResolveDecision(inst, obs::Outcome::kFallbackPartnerDone, -1);
         return false;
       }
       if (!ServiceTableReserve(loc, service_key)) {
-        stats_.Add("ndc.service_table_full");
+        service_table_full_.Add();
         inst.state = InstState::kAborted;
+        ResolveDecision(inst, obs::Outcome::kFallbackServiceTableFull, -1);
         return false;
       }
       inst.state = InstState::kWaiting;
@@ -616,7 +676,7 @@ bool Machine::OnOperandAtLoc(Instance& inst, int operand, Loc loc, sim::NodeId n
       eq_.ScheduleAfter(inst.timeout, [this, uid, token] {
         Instance* i2 = InstanceByUid(uid);
         if (i2 != nullptr && i2->state == InstState::kWaiting && i2->wait_token == token) {
-          AbortWait(*i2, "timeout");
+          AbortWait(*i2, AbortReason::kTimeout);
         }
       });
       return true;
@@ -634,9 +694,17 @@ void Machine::MeetAndCompute(Instance& inst, Loc loc, sim::NodeId node) {
   inst.state = InstState::kComputed;
   inst.waiting_op = -1;
   sim::Cycle now = eq_.now();
-  stats_.Add("ndc.success");
+  success_.Add();
   ++ndc_at_loc_[static_cast<std::size_t>(loc)];
-  stats_.Add(std::string("ndc.at.") + arch::LocName(loc));
+  if (ObsOn()) {
+    // Both operands end their lifetime here: their data never reaches the
+    // core (the packets were squashed / the responses absorbed).
+    opts_.obs->tracer.Finish(inst.obs_tok[0], obs::Stage::kNdcConsumed, now);
+    opts_.obs->tracer.Finish(inst.obs_tok[1], obs::Stage::kNdcConsumed, now);
+    opts_.obs->sink.Instant("ndc.meet", now, inst.core, inst.uid, "loc",
+                            static_cast<std::uint64_t>(loc));
+    ResolveDecision(inst, obs::Outcome::kNdcSuccess, static_cast<std::int8_t>(loc));
+  }
   // Both operand loads are consumed by the near-data computation.
   auto c = static_cast<std::size_t>(inst.core);
   cores_[c]->Complete(inst.load_idx[0], now);
@@ -653,11 +721,18 @@ void Machine::MeetAndCompute(Instance& inst, Loc loc, sim::NodeId node) {
   });
 }
 
-void Machine::AbortWait(Instance& inst, const char* reason) {
+void Machine::AbortWait(Instance& inst, AbortReason reason) {
   ServiceTableRelease(inst.planned, inst.service_key);
   inst.state = InstState::kAborted;
   inst.waiting_op = -1;
-  stats_.Add(std::string("ndc.abort.") + reason);
+  (reason == AbortReason::kTimeout ? abort_timeout_ : abort_partner_done_).Add();
+  if (ObsOn()) {
+    opts_.obs->sink.Instant("ndc.abort", eq_.now(), inst.core, inst.uid);
+    ResolveDecision(inst,
+                    reason == AbortReason::kTimeout ? obs::Outcome::kFallbackTimeout
+                                                    : obs::Outcome::kFallbackPartnerDone,
+                    -1);
+  }
   if (inst.held_packet != 0 && net_->IsHeld(inst.held_packet)) {
     net_->Release(inst.held_packet);
     inst.held_packet = 0;
@@ -674,7 +749,7 @@ void Machine::OnOperandAtCore(Instance& inst, int operand, sim::Cycle when) {
   if (inst.state == InstState::kWaiting && inst.waiting_op == other) {
     // The partner operand finished conventionally: the planned meeting can
     // no longer happen (offload-table feedback aborts the wait).
-    AbortWait(inst, "partner_done");
+    AbortWait(inst, AbortReason::kPartnerDone);
   }
   MaybeFallback(inst);
 }
@@ -688,7 +763,13 @@ void Machine::MaybeFallback(Instance& inst) {
   done = std::max(done, eq_.now()) + cfg_.compute_latency;
   cores_[static_cast<std::size_t>(inst.core)]->Complete(inst.site_idx, done);
   if (inst.offloaded) {
-    stats_.Add("ndc.fallbacks");
+    fallbacks_.Add();
+    if (ObsOn()) {
+      opts_.obs->sink.Instant("ndc.fallback", eq_.now(), inst.core, inst.uid);
+      // Catch-all: if no abort path resolved this offload, the operands
+      // simply never met at the planned location.
+      ResolveDecision(inst, obs::Outcome::kFallbackNeverMet, -1);
+    }
     if (inst.state == InstState::kPending) inst.state = InstState::kAborted;
     if (active_offloads_[static_cast<std::size_t>(inst.core)] > 0) {
       --active_offloads_[static_cast<std::size_t>(inst.core)];
@@ -736,6 +817,58 @@ Machine::Instance* Machine::FindInstance(sim::NodeId core, std::uint32_t site_id
 Machine::Instance* Machine::InstanceByUid(std::uint64_t uid) {
   auto it = instances_.find(uid);
   return it == instances_.end() ? nullptr : &it->second;
+}
+
+void Machine::RecordDecision(const Instance& inst, obs::DecisionKind kind,
+                             std::int8_t planned_loc) {
+  if (!ObsOn()) return;
+  opts_.obs->decisions.Record(inst.uid, inst.core, inst.site_idx, kind, planned_loc,
+                              eq_.now());
+  if (kind == obs::DecisionKind::kOffload) {
+    opts_.obs->sink.Instant("ndc.offload", eq_.now(), inst.core, inst.uid, "loc",
+                            static_cast<std::uint64_t>(planned_loc));
+  }
+}
+
+void Machine::ResolveDecision(const Instance& inst, obs::Outcome outcome, std::int8_t met_loc) {
+  if (!ObsOn()) return;
+  opts_.obs->decisions.Resolve(inst.uid, outcome, met_loc, eq_.now());
+}
+
+void Machine::MaterializeStats() {
+  stats_.Clear();
+  candidates_.MaterializeInto(stats_, "ndc.candidates");
+  local_l1_skips_.MaterializeInto(stats_, "ndc.local_l1_skips");
+  offloads_.MaterializeInto(stats_, "ndc.offloads");
+  success_.MaterializeInto(stats_, "ndc.success");
+  fallbacks_.MaterializeInto(stats_, "ndc.fallbacks");
+  plan_infeasible_.MaterializeInto(stats_, "ndc.plan_infeasible");
+  offload_table_full_.MaterializeInto(stats_, "ndc.offload_table_full");
+  service_table_full_.MaterializeInto(stats_, "ndc.service_table_full");
+  abort_timeout_.MaterializeInto(stats_, "ndc.abort.timeout");
+  abort_partner_done_.MaterializeInto(stats_, "ndc.abort.partner_done");
+  incomplete_cores_.MaterializeInto(stats_, "run.incomplete_cores");
+  for (int l = 0; l < arch::kNumLocs; ++l) {
+    std::uint64_t v = ndc_at_loc_[static_cast<std::size_t>(l)];
+    if (v > 0) stats_.Add(std::string("ndc.at.") + arch::LocName(static_cast<Loc>(l)), v);
+  }
+}
+
+void Machine::MirrorRegistry(const RunResult& r) {
+  if (!ObsOn()) return;
+  obs::Registry& reg = opts_.obs->registry;
+  auto set = [&reg](const char* path, std::uint64_t v) {
+    if (obs::Counter* ctr = reg.counter(path)) ctr->Set(v);
+  };
+  set("machine/candidates", candidates_.v);
+  set("machine/offloads", offloads_.v);
+  set("machine/ndc_success", success_.v);
+  set("machine/fallbacks", fallbacks_.v);
+  set("machine/l1_misses", r.l1_misses);
+  set("machine/l2_misses", r.l2_misses);
+  if (obs::Gauge* g = reg.gauge("machine/makespan")) {
+    g->Set(static_cast<std::int64_t>(r.makespan));
+  }
 }
 
 void Machine::FinalizeRecords(RunResult& result) {

@@ -16,6 +16,7 @@
 #include "mem/memctrl.hpp"
 #include "ndc/policy.hpp"
 #include "ndc/record.hpp"
+#include "obs/obs.hpp"
 #include "noc/network.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
@@ -33,6 +34,11 @@ struct MachineOptions {
   /// Execute compiler-inserted PreCompute offloads (Section 5). When false
   /// they fall back to conventional execution (used for baselines).
   bool honor_precompute = true;
+  /// Observation bundle (request tracer, decision log, metrics registry).
+  /// Null (the default) means no observation: with NDC_OBS=OFF every hook
+  /// compiles out entirely, and even with NDC_OBS=ON a null pointer reduces
+  /// each hook to one predictable branch. Never affects simulated timing.
+  obs::Observability* obs = nullptr;
 };
 
 /// Aggregate results of one simulation run.
@@ -145,22 +151,31 @@ class Machine final : public arch::MemoryPort {
     // Observation (observe mode).
     std::array<LocObs, arch::kNumLocs> obs{};
     bool local_l1 = false;
+
+    // Request-trace tokens of the two operand loads (0 = untraced).
+    std::array<std::uint64_t, 2> obs_tok{};
   };
 
+  enum class AbortReason { kTimeout, kPartnerDone };
+
   // -- memory path --
+  // `rtok` is the request-trace token of the load making its way through the
+  // hierarchy (0 = untraced; always 0 when observation is off).
   void StartL1Miss(sim::NodeId core, std::uint32_t idx, sim::Addr addr, Instance* inst,
-                   int operand);
+                   int operand, std::uint64_t rtok);
   void AccessL2(sim::NodeId home, sim::NodeId core, std::uint32_t idx, sim::Addr addr,
-                std::uint64_t tag);
+                std::uint64_t tag, std::uint64_t rtok);
   void L2DataReady(sim::NodeId home, sim::NodeId core, std::uint32_t idx, sim::Addr addr,
-                   std::uint64_t tag);
+                   std::uint64_t tag, std::uint64_t rtok);
   void McDataReady(sim::McId mc, sim::NodeId home, sim::NodeId core, std::uint32_t idx,
-                   sim::Addr addr, std::uint64_t tag);
+                   sim::Addr addr, std::uint64_t tag, std::uint64_t rtok);
   void SendResponseToCore(sim::NodeId home, sim::NodeId core, std::uint32_t idx,
-                          sim::Addr addr, std::uint64_t tag);
-  void DeliverToCore(sim::NodeId core, std::uint32_t idx, sim::Addr addr, std::uint64_t tag);
+                          sim::Addr addr, std::uint64_t tag, std::uint64_t rtok);
+  void DeliverToCore(sim::NodeId core, std::uint32_t idx, sim::Addr addr, std::uint64_t tag,
+                     std::uint64_t rtok);
   void SendLocal(sim::NodeId from, sim::NodeId to, int bytes, noc::Route route,
-                 std::uint64_t tag, int kind, noc::Network::DeliverFn fn);
+                 std::uint64_t tag, int kind, noc::Network::DeliverFn fn,
+                 std::uint64_t rtok = 0);
 
   // -- NDC engine --
   void OnSecondLoadIssued(sim::NodeId core, const CandInfo& cand, sim::Addr a, sim::Addr b);
@@ -172,7 +187,7 @@ class Machine final : public arch::MemoryPort {
   bool OnOperandAtLoc(Instance& inst, int operand, Loc loc, sim::NodeId node, int service_key,
                       std::function<void()> resume);
   void MeetAndCompute(Instance& inst, Loc loc, sim::NodeId node);
-  void AbortWait(Instance& inst, const char* reason);
+  void AbortWait(Instance& inst, AbortReason reason);
   void OnOperandAtCore(Instance& inst, int operand, sim::Cycle when);
   void MaybeFallback(Instance& inst);
   void RecordObs(Instance& inst, int operand, Loc loc, sim::NodeId node, sim::Cycle t);
@@ -184,6 +199,15 @@ class Machine final : public arch::MemoryPort {
   Instance* InstanceByUid(std::uint64_t uid);
 
   void FinalizeRecords(RunResult& result);
+
+  /// True when this run observes itself. Folds to `false` at compile time
+  /// under NDC_OBS=OFF, removing every instrumentation block it guards.
+  bool ObsOn() const { return obs::kObsEnabled && opts_.obs != nullptr; }
+  /// Records the one-and-only audit entry for a candidate decision.
+  void RecordDecision(const Instance& inst, obs::DecisionKind kind, std::int8_t planned_loc);
+  void ResolveDecision(const Instance& inst, obs::Outcome outcome, std::int8_t met_loc);
+  void MaterializeStats();
+  void MirrorRegistry(const RunResult& r);
 
   arch::ArchConfig cfg_;
   MachineOptions opts_;
@@ -219,6 +243,10 @@ class Machine final : public arch::MemoryPort {
   std::vector<int> active_offloads_;  // per-core offload-table occupancy
 
   std::shared_ptr<RunRecord> records_;
+  // Hot-path counters (plain bumps; string keys only at materialization).
+  sim::RawCounter candidates_, local_l1_skips_, offloads_, success_, fallbacks_,
+      plan_infeasible_, offload_table_full_, service_table_full_, abort_timeout_,
+      abort_partner_done_, incomplete_cores_;
   sim::StatSet stats_;
   std::array<std::uint64_t, arch::kNumLocs> ndc_at_loc_{};
 };

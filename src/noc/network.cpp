@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace ndc::noc {
 
@@ -9,15 +10,22 @@ Network::Network(Mesh mesh, sim::EventQueue& eq, NetworkParams params)
     : mesh_(mesh), eq_(eq), params_(params) {
   link_busy_until_.assign(static_cast<std::size_t>(mesh_.num_link_slots()), 0);
   link_hold_count_.assign(static_cast<std::size_t>(mesh_.num_link_slots()), 0);
+}
 
+void Network::RegisterMetrics(obs::Registry& reg) {
+  if constexpr (!obs::kObsEnabled) return;
+  link_traversals_.assign(static_cast<std::size_t>(mesh_.num_link_slots()), nullptr);
+  for (std::size_t i = 0; i < link_traversals_.size(); ++i) {
+    link_traversals_[i] = reg.counter("noc.link." + std::to_string(i) + "/traversals");
+  }
 }
 
 std::uint64_t Network::Send(Packet p, DeliverFn on_deliver) {
   p.id = next_id_++;
   if (p.route.empty() && p.src != p.dst) p.route = XyRoute(mesh_, p.src, p.dst);
   p.hop = 0;
-  stats_.Add("noc.packets");
-  stats_.Add("noc.bytes", static_cast<std::uint64_t>(p.size_bytes));
+  packets_.Add();
+  bytes_.Add(static_cast<std::uint64_t>(p.size_bytes));
   std::uint64_t id = p.id;
   // Local delivery (same node) still pays one router pipeline transit.
   eq_.ScheduleAfter(0, [this, p = std::move(p), d = std::move(on_deliver)]() mutable {
@@ -40,12 +48,12 @@ void Network::ProcessHop(Packet p, DeliverFn deliver, bool run_hook) {
       case HopAction::kContinue:
         break;
       case HopAction::kHold:
-        stats_.Add("noc.holds");
+        holds_.Add();
         ++link_hold_count_[static_cast<std::size_t>(link)];
         held_.emplace(p.id, Held{std::move(p), std::move(deliver), link});
         return;
       case HopAction::kSquash:
-        stats_.Add("noc.squashes");
+        squashes_.Add();
         return;
     }
   }
@@ -60,15 +68,23 @@ void Network::Traverse(Packet p, DeliverFn deliver, sim::LinkId link) {
   // traffic, delaying it proportionally.
   int held_here = link_hold_count_[static_cast<std::size_t>(link)];
   if (held_here > 0) {
-    stats_.Add("noc.hol_blocked");
+    hol_blocked_.Add();
     ready += static_cast<sim::Cycle>(held_here) * kHoldPenalty;
   }
   sim::Cycle depart = std::max(ready, link_busy_until_[static_cast<std::size_t>(link)]);
   sim::Cycle ser = SerializationCycles(p.size_bytes);
   link_busy_until_[static_cast<std::size_t>(link)] = depart + ser;
-  stats_.Add("noc.link_busy_cycles", ser);
-  if (depart > ready) stats_.Add("noc.contention_cycles", depart - ready);
+  link_busy_cycles_.Add(ser);
+  if (depart > ready) contention_cycles_.Add(depart - ready);
   sim::Cycle arrive = depart + ser;
+  if constexpr (obs::kObsEnabled) {
+    if (tracer_ != nullptr && p.obs_token != 0) {
+      tracer_->Hop(p.obs_token, link, depart, arrive);
+    }
+    if (!link_traversals_.empty()) {
+      link_traversals_[static_cast<std::size_t>(link)]->Add();
+    }
+  }
   p.hop++;
   eq_.ScheduleAt(arrive, [this, p = std::move(p), d = std::move(deliver)]() mutable {
     ProcessHop(std::move(p), std::move(d), /*run_hook=*/true);
@@ -80,7 +96,7 @@ void Network::Release(std::uint64_t packet_id) {
   if (it == held_.end()) return;
   Held h = std::move(it->second);
   held_.erase(it);
-  stats_.Add("noc.releases");
+  releases_.Add();
   --link_hold_count_[static_cast<std::size_t>(h.link)];
   Traverse(std::move(h.packet), std::move(h.deliver), h.link);
 }
@@ -90,8 +106,20 @@ void Network::Squash(std::uint64_t packet_id) {
   if (it == held_.end()) return;
   sim::LinkId link = it->second.link;
   held_.erase(it);
-  stats_.Add("noc.squashes");
+  squashes_.Add();
   --link_hold_count_[static_cast<std::size_t>(link)];
+}
+
+void Network::MaterializeStats() const {
+  stats_.Clear();
+  packets_.MaterializeInto(stats_, "noc.packets");
+  bytes_.MaterializeInto(stats_, "noc.bytes");
+  holds_.MaterializeInto(stats_, "noc.holds");
+  squashes_.MaterializeInto(stats_, "noc.squashes");
+  releases_.MaterializeInto(stats_, "noc.releases");
+  hol_blocked_.MaterializeInto(stats_, "noc.hol_blocked");
+  link_busy_cycles_.MaterializeInto(stats_, "noc.link_busy_cycles");
+  contention_cycles_.MaterializeInto(stats_, "noc.contention_cycles");
 }
 
 }  // namespace ndc::noc

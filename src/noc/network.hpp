@@ -7,6 +7,8 @@
 
 #include "noc/geometry.hpp"
 #include "noc/routing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 
@@ -31,6 +33,7 @@ struct Packet {
   std::size_t hop = 0;        ///< index of the next link to traverse
   std::uint64_t tag = 0;      ///< opaque user tag (e.g. memory request id)
   int kind = 0;               ///< opaque user kind
+  std::uint64_t obs_token = 0;  ///< request-trace token (0 = untraced)
 };
 
 /// What a hop hook tells the network to do with a packet that just arrived
@@ -71,6 +74,14 @@ class Network {
 
   void set_hop_hook(HopHook hook) { hop_hook_ = std::move(hook); }
 
+  /// Traced packets report each link traversal to `tracer` (may be null).
+  void set_request_tracer(obs::RequestTracer* tracer) { tracer_ = tracer; }
+
+  /// Registers per-link traversal counters ("noc.link.<id>/traversals") and
+  /// network-wide counters under `reg`. Handles are resolved once here; the
+  /// hot path bumps pointers only.
+  void RegisterMetrics(obs::Registry& reg);
+
   /// Serialization latency of a packet on one link.
   sim::Cycle SerializationCycles(int size_bytes) const {
     return static_cast<sim::Cycle>((size_bytes + params_.link_bytes - 1) / params_.link_bytes);
@@ -82,8 +93,17 @@ class Network {
     return static_cast<sim::Cycle>(hops) * (params_.router_pipeline + SerializationCycles(size_bytes));
   }
 
-  sim::StatSet& stats() { return stats_; }
-  const sim::StatSet& stats() const { return stats_; }
+  /// Counter view. Materialized lazily from raw per-event counters (the
+  /// per-event path never touches string keys); key set and values are
+  /// identical to the historical eager StatSet.
+  sim::StatSet& stats() {
+    MaterializeStats();
+    return stats_;
+  }
+  const sim::StatSet& stats() const {
+    MaterializeStats();
+    return stats_;
+  }
 
  private:
   struct Held {
@@ -94,6 +114,7 @@ class Network {
 
   void ProcessHop(Packet p, DeliverFn deliver, bool run_hook);
   void Traverse(Packet p, DeliverFn deliver, sim::LinkId link);
+  void MaterializeStats() const;
 
   /// Extra cycles a passing packet pays per held packet in a link buffer.
   static constexpr sim::Cycle kHoldPenalty = 16;
@@ -102,13 +123,18 @@ class Network {
   sim::EventQueue& eq_;
   NetworkParams params_;
   HopHook hop_hook_;
+  obs::RequestTracer* tracer_ = nullptr;
+  std::vector<obs::Counter*> link_traversals_;  ///< per-link registry handles
   std::vector<sim::Cycle> link_busy_until_;
   // Held packets occupy link-buffer slots; passing traffic pays a
   // per-held-packet delay (buffer pressure).
   std::vector<int> link_hold_count_;
   std::unordered_map<std::uint64_t, Held> held_;
   std::uint64_t next_id_ = 1;
-  sim::StatSet stats_;
+
+  sim::RawCounter packets_, bytes_, holds_, squashes_, releases_, hol_blocked_,
+      link_busy_cycles_, contention_cycles_;
+  mutable sim::StatSet stats_;
 };
 
 }  // namespace ndc::noc

@@ -1,0 +1,23 @@
+#pragma once
+
+/// Compile-time master switch for the observability subsystem.
+///
+/// Built with -DNDC_OBS_DISABLED (CMake option NDC_OBS=OFF), every
+/// instrumentation call site of the form
+///
+///     if (ObsOn()) { ... stamp / log / count ... }
+///
+/// constant-folds to nothing: ObsOn() is `kObsEnabled && obs_ != nullptr`
+/// and kObsEnabled is a constexpr false, so the branch and everything inside
+/// it are dead code. The obs types themselves still compile (tools and tests
+/// link against them and report themselves disabled) — only the hooks in the
+/// simulator hot paths disappear.
+namespace ndc::obs {
+
+#ifdef NDC_OBS_DISABLED
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+}  // namespace ndc::obs

@@ -1,0 +1,62 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace ndc::obs {
+
+Counter* Registry::counter(const std::string& path) {
+  Entry& e = metrics_[path];
+  if (e.gauge != nullptr || e.histogram != nullptr) return nullptr;
+  if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* Registry::gauge(const std::string& path) {
+  Entry& e = metrics_[path];
+  if (e.counter != nullptr || e.histogram != nullptr) return nullptr;
+  if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+Histogram* Registry::histogram(const std::string& path, std::vector<std::uint64_t> edges) {
+  Entry& e = metrics_[path];
+  if (e.counter != nullptr || e.gauge != nullptr) return nullptr;
+  if (e.histogram == nullptr) e.histogram = std::make_unique<Histogram>(std::move(edges));
+  return e.histogram.get();
+}
+
+std::string Registry::ToText() const {
+  std::ostringstream os;
+  for (const auto& [path, e] : metrics_) {
+    os << path << " ";
+    if (e.counter != nullptr) {
+      os << e.counter->value();
+    } else if (e.gauge != nullptr) {
+      os << e.gauge->value() << " (max " << e.gauge->max() << ")";
+    } else if (e.histogram != nullptr) {
+      os << "[";
+      const sim::BucketHistogram& h = e.histogram->hist();
+      for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+        if (i > 0) os << " ";
+        os << h.count(i);
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::map<std::string, std::uint64_t> Registry::ScalarSnapshot() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [path, e] : metrics_) {
+    if (e.counter != nullptr) {
+      out[path] = e.counter->value();
+    } else if (e.gauge != nullptr) {
+      out[path] = static_cast<std::uint64_t>(e.gauge->value());
+    }
+  }
+  return out;
+}
+
+}  // namespace ndc::obs

@@ -1,0 +1,92 @@
+#pragma once
+
+// Hierarchical metrics registry. Components register typed metrics once, at
+// construction, under a slash-separated component path
+// ("noc.link.7/traversals", "mc.2/row_hits") and get back a stable handle
+// pointer; the hot loop bumps through the handle — never a string hash or
+// map lookup. Export walks the (sorted) path map, so dumps are
+// deterministic regardless of registration order.
+//
+// This complements sim::StatSet rather than replacing it wholesale: StatSet
+// remains the flat merged-counter surface every figure renders from (its
+// key set and values are bit-frozen by the goldens), while the registry
+// carries the per-component-instance breakdowns (per-link, per-MC) that a
+// flat namespace collapses.
+//
+// Not thread-safe: one Registry belongs to one simulated Machine, and a
+// Machine runs on one thread (the sweep harness gives each cell its own).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/enabled.hpp"
+#include "sim/stats.hpp"
+
+namespace ndc::obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t d = 1) { v_ += d; }
+  void Set(std::uint64_t v) { v_ = v; }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Last-value gauge that also tracks the high-water mark.
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+    v_ = v;
+    if (v > max_) max_ = v;
+  }
+  std::int64_t value() const { return v_; }
+  std::int64_t max() const { return max_; }
+
+ private:
+  std::int64_t v_ = 0;
+  std::int64_t max_ = 0;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> edges) : h_(std::move(edges)) {}
+  void Add(std::uint64_t v, std::uint64_t w = 1) { h_.Add(v, w); }
+  const sim::BucketHistogram& hist() const { return h_; }
+
+ private:
+  sim::BucketHistogram h_;
+};
+
+class Registry {
+ public:
+  /// Get-or-create. The returned pointer is stable for the Registry's
+  /// lifetime. A path already registered as a different metric kind returns
+  /// nullptr (caller bug; surfaced rather than aliased).
+  Counter* counter(const std::string& path);
+  Gauge* gauge(const std::string& path);
+  Histogram* histogram(const std::string& path,
+                       std::vector<std::uint64_t> edges = {1, 10, 20, 50, 100, 500});
+
+  std::size_t size() const { return metrics_.size(); }
+
+  /// Sorted "path value" lines (histograms as "path [c0 c1 ... cN]").
+  std::string ToText() const;
+
+  /// Counter and gauge values keyed by path, sorted (map order).
+  std::map<std::string, std::uint64_t> ScalarSnapshot() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace ndc::obs

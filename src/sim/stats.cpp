@@ -32,6 +32,8 @@ double BucketHistogram::CumulativeFraction(std::size_t i) const {
 }
 
 double BucketHistogram::FractionAtEdge(std::uint64_t edge) const {
+  assert(std::binary_search(edges_.begin(), edges_.end(), edge) &&
+         "FractionAtEdge requires an exact bucket edge");
   if (total_ == 0) return 0.0;
   std::uint64_t c = 0;
   for (std::size_t i = 0; i < edges_.size(); ++i) {
@@ -52,8 +54,15 @@ std::uint64_t StatSet::Get(const std::string& name) const {
 }
 
 std::string StatSet::ToString() const {
+  // Deterministic output is a documented contract (goldens diff this):
+  // sort explicitly instead of leaning on the backing container's order.
+  std::vector<const std::pair<const std::string, std::uint64_t>*> rows;
+  rows.reserve(counters_.size());
+  for (const auto& kv : counters_) rows.push_back(&kv);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
   std::ostringstream os;
-  for (const auto& [k, v] : counters_) os << k << " = " << v << "\n";
+  for (const auto* kv : rows) os << kv->first << " = " << kv->second << "\n";
   return os.str();
 }
 

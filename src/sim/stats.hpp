@@ -32,8 +32,11 @@ class BucketHistogram {
   /// Cumulative fraction of samples <= edges[i].
   double CumulativeFraction(std::size_t i) const;
 
-  /// Fraction of samples <= `value` (exact, using raw samples is not kept;
-  /// this interpolates bucket boundaries so only call with bucket edges).
+  /// Fraction of samples <= `edge`, where `edge` must be one of edges().
+  /// The histogram keeps no raw samples, so the answer is only exact at a
+  /// bucket boundary; a non-edge value is a caller bug and asserts in debug
+  /// builds. In release builds a non-edge value degrades to the fraction at
+  /// the largest edge <= `edge` (a documented floor, never an over-count).
   double FractionAtEdge(std::uint64_t edge) const;
 
   void MergeFrom(const BucketHistogram& other);
@@ -60,6 +63,29 @@ class StatSet {
 
  private:
   std::map<std::string, std::uint64_t> counters_;
+};
+
+/// A hot-path counter: a plain integer bump where StatSet::Add would hash a
+/// string per event. Components keep RawCounters as members and lazily
+/// materialize them into a StatSet when stats are read. `touched` preserves
+/// StatSet key semantics exactly: a key exists iff Add was ever called, even
+/// with delta 0 (some consumers key off presence, not value).
+struct RawCounter {
+  std::uint64_t v = 0;
+  bool touched = false;
+
+  void Add(std::uint64_t delta = 1) {
+    v += delta;
+    touched = true;
+  }
+  void Reset() {
+    v = 0;
+    touched = false;
+  }
+  /// Adds this counter to `out` under `name` iff it was ever touched.
+  void MaterializeInto(StatSet& out, const std::string& name) const {
+    if (touched) out.Add(name, v);
+  }
 };
 
 /// Simple online mean/min/max accumulator.

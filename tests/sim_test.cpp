@@ -96,6 +96,31 @@ TEST(BucketHistogram, CumulativeFractions) {
   EXPECT_DOUBLE_EQ(h.CumulativeFraction(6), 1.0);
 }
 
+TEST(BucketHistogram, FractionAtEdgeIsExactAtEveryBucketEdge) {
+  BucketHistogram h;  // edges 1, 10, 20, 50, 100, 500
+  h.Add(1);
+  h.Add(10);
+  h.Add(20);
+  h.Add(50);
+  h.Add(100);
+  h.Add(500);
+  h.Add(501);  // overflow bucket; never below any edge
+  EXPECT_DOUBLE_EQ(h.FractionAtEdge(1), 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtEdge(10), 2.0 / 7.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtEdge(20), 3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtEdge(50), 4.0 / 7.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtEdge(100), 5.0 / 7.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtEdge(500), 6.0 / 7.0);
+}
+
+#ifndef NDEBUG
+TEST(BucketHistogramDeathTest, FractionAtNonEdgeAssertsInDebugBuilds) {
+  BucketHistogram h;
+  h.Add(5);
+  EXPECT_DEATH((void)h.FractionAtEdge(15), "exact bucket edge");
+}
+#endif
+
 TEST(BucketHistogram, MergePreservesTotals) {
   BucketHistogram a, b;
   a.Add(5);
@@ -116,6 +141,40 @@ TEST(StatSet, AddAndGet) {
   EXPECT_EQ(s.Get("missing"), 0u);
   EXPECT_TRUE(s.Has("x"));
   EXPECT_FALSE(s.Has("missing"));
+}
+
+TEST(StatSet, ToStringIsSortedAndDeterministic) {
+  // Documented contract: ToString() orders rows by key regardless of
+  // insertion order, so golden-file diffs are stable.
+  StatSet s;
+  s.Add("zeta", 3);
+  s.Add("alpha", 1);
+  s.Add("mid.key", 2);
+  EXPECT_EQ(s.ToString(), "alpha = 1\nmid.key = 2\nzeta = 3\n");
+  StatSet reversed;
+  reversed.Add("mid.key", 2);
+  reversed.Add("alpha", 1);
+  reversed.Add("zeta", 3);
+  EXPECT_EQ(reversed.ToString(), s.ToString());
+}
+
+TEST(RawCounter, MaterializesOnlyWhenTouched) {
+  RawCounter c;
+  StatSet s;
+  c.MaterializeInto(s, "k");
+  EXPECT_FALSE(s.Has("k"));  // never touched: key absent
+  c.Add(0);                  // zero-delta Add still marks the key live
+  c.MaterializeInto(s, "k");
+  EXPECT_TRUE(s.Has("k"));
+  EXPECT_EQ(s.Get("k"), 0u);
+  c.Add(7);
+  s.Clear();
+  c.MaterializeInto(s, "k");
+  EXPECT_EQ(s.Get("k"), 7u);
+  c.Reset();
+  s.Clear();
+  c.MaterializeInto(s, "k");
+  EXPECT_FALSE(s.Has("k"));
 }
 
 TEST(Accumulator, TracksMeanMinMax) {

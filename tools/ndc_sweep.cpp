@@ -13,8 +13,8 @@
 // Usage:
 //   ndc-sweep --figure=NAME|all [--scale=test|small|full] [--bench=NAME]
 //             [--jobs=N] [--no-cache] [--cache-dir=DIR] [--progress]
-//             [--export-jsonl=FILE] [--export-csv=FILE] [--summary=FILE]
-//             [--require-all-hits]
+//             [--export-jsonl=FILE] [--export-csv=FILE] [--export-obs=DIR]
+//             [--summary=FILE] [--require-all-hits]
 //   ndc-sweep --list
 
 #include <cstdio>
@@ -44,7 +44,7 @@ struct SweepArgs {
                "usage: ndc-sweep --figure=NAME|all [--scale=test|small|full]\n"
                "         [--bench=NAME] [--jobs=N] [--no-cache] [--cache-dir=DIR]\n"
                "         [--progress] [--export-jsonl=FILE] [--export-csv=FILE]\n"
-               "         [--summary=FILE] [--require-all-hits]\n"
+               "         [--export-obs=DIR] [--summary=FILE] [--require-all-hits]\n"
                "       ndc-sweep --list\n");
   std::exit(2);
 }
@@ -89,6 +89,8 @@ SweepArgs Parse(int argc, char** argv) {
       a.opt.export_jsonl = arg + 15;
     } else if (std::strncmp(arg, "--export-csv=", 13) == 0) {
       a.opt.export_csv = arg + 13;
+    } else if (std::strncmp(arg, "--export-obs=", 13) == 0) {
+      a.opt.export_obs = arg + 13;
     } else if (std::strncmp(arg, "--summary=", 10) == 0) {
       a.summary_path = arg + 10;
     } else if (std::strcmp(arg, "--require-all-hits") == 0) {
