@@ -1,0 +1,303 @@
+// Substrate throughput benchmark: events/sec, ns/event, and allocs/event
+// for the discrete-event core (calendar EventQueue vs the seed binary-heap
+// LegacyEventQueue), plus end-to-end MemCtrl and NoC event streams.
+//
+// Emits a machine-readable JSON report (default BENCH_substrate.json) that
+// CI's substrate-perf job checks against two floors:
+//   - speedup_vs_legacy >= --min-speedup (calendar vs seed queue, same box)
+//   - allocs_per_event ~= 0 on the pure scheduling benches (the hot
+//     ScheduleAfter(small delay) path must not touch the heap)
+//
+// Allocation counts come from an instrumented global operator new/delete in
+// this translation unit, sampled after a warmup pass so one-time pool/bucket
+// growth is excluded (steady-state behaviour is what the floor is about).
+//
+// Usage: bench_substrate [--events=N] [--out=FILE]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "mem/address_map.hpp"
+#include "mem/dram.hpp"
+#include "mem/memctrl.hpp"
+#include "noc/geometry.hpp"
+#include "noc/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/legacy_event_queue.hpp"
+#include "sim/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Instrumented allocator: every heap allocation in the process bumps a
+// counter. Single global, relaxed atomics (the benches are single-threaded;
+// atomics just keep the operators formally thread-safe).
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace ndc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  std::uint64_t allocs = 0;
+
+  double events_per_sec() const { return seconds > 0 ? static_cast<double>(events) / seconds : 0; }
+  double ns_per_event() const {
+    return events > 0 ? seconds * 1e9 / static_cast<double>(events) : 0;
+  }
+  double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(allocs) / static_cast<double>(events) : 0;
+  }
+};
+
+/// Times `run()` and attributes the executed-event delta and heap
+/// allocations inside it to one named result row.
+template <typename RunFn, typename ExecutedFn>
+BenchResult Measure(const char* name, RunFn&& run, ExecutedFn&& executed) {
+  BenchResult r;
+  r.name = name;
+  std::uint64_t e0 = executed();
+  std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  auto t0 = Clock::now();
+  run();
+  auto t1 = Clock::now();
+  r.events = executed() - e0;
+  r.allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+// --- Pure scheduling: self-rescheduling chains of small-delay events -------
+// This is the simulator's hot path (MemCtrl completions, NoC hops): a small
+// callback scheduled a few cycles ahead. The functor is 24 bytes, so the
+// calendar queue keeps it in the bucket's inline storage.
+
+template <typename Queue>
+struct ChainEvent {
+  Queue* q;
+  std::uint64_t* remaining;
+  sim::Cycle delay;
+  void operator()() const {
+    if (*remaining == 0) return;
+    --*remaining;
+    q->ScheduleAfter(delay, ChainEvent{q, remaining, delay});
+  }
+};
+
+template <typename Queue>
+BenchResult ChainBench(const char* name, std::uint64_t events) {
+  Queue q;
+  std::uint64_t remaining = 0;
+  auto seed = [&] {
+    for (sim::Cycle c = 0; c < 64; ++c) {
+      q.ScheduleAfter(1 + c % 13, ChainEvent<Queue>{&q, &remaining, 1 + c % 13});
+    }
+  };
+  remaining = events / 10;  // warmup: grow buckets/pools off the clock
+  seed();
+  q.RunUntilEmpty();
+  remaining = events;
+  seed();
+  return Measure(name, [&] { q.RunUntilEmpty(); }, [&] { return q.executed(); });
+}
+
+// --- Mixed horizon: mostly near events, 1-in-8 beyond the wheel window -----
+
+struct MixedEvent {
+  sim::EventQueue* q;
+  std::uint64_t* remaining;
+  sim::Rng* rng;
+  void operator()() const {
+    if (*remaining == 0) return;
+    --*remaining;
+    sim::Cycle d = (rng->Next() & 7) == 0 ? 5000 + rng->NextBelow(20000)
+                                          : 1 + rng->NextBelow(32);
+    q->ScheduleAfter(d, MixedEvent{q, remaining, rng});
+  }
+};
+
+BenchResult MixedBench(std::uint64_t events) {
+  sim::EventQueue q;
+  sim::Rng rng(2021);
+  std::uint64_t remaining = 0;
+  auto seed = [&] {
+    for (sim::Cycle c = 0; c < 64; ++c) {
+      q.ScheduleAfter(1 + c % 17, MixedEvent{&q, &remaining, &rng});
+    }
+  };
+  remaining = events / 10;
+  seed();
+  q.RunUntilEmpty();
+  remaining = events;
+  seed();
+  return Measure("calendar_mixed_horizon", [&] { q.RunUntilEmpty(); },
+                 [&] { return q.executed(); });
+}
+
+// --- End-to-end component streams ------------------------------------------
+
+BenchResult MemCtrlBench(std::uint64_t requests) {
+  mem::AddressMap amap;
+  mem::DramParams dram;
+  sim::EventQueue eq;
+  mem::MemCtrl mc(0, amap, dram, eq);
+  sim::Rng rng(7);
+  std::uint64_t remaining = 0;
+  std::uint64_t next_tag = 1;
+  // Closed loop: each completion enqueues another random read, keeping every
+  // bank queue busy (the FR-FCFS pick always has material to scan).
+  std::function<void(std::uint64_t, sim::Cycle)> done = [&](std::uint64_t, sim::Cycle) {
+    if (remaining == 0) return;
+    --remaining;
+    mc.EnqueueRead(next_tag++, rng.NextBelow(1u << 28) * 64, done);
+  };
+  auto seed = [&] {
+    for (int i = 0; i < 128; ++i) mc.EnqueueRead(next_tag++, rng.NextBelow(1u << 28) * 64, done);
+  };
+  remaining = requests / 10;
+  seed();
+  eq.RunUntilEmpty();
+  remaining = requests;
+  seed();
+  return Measure("memctrl_stream", [&] { eq.RunUntilEmpty(); },
+                 [&] { return eq.executed(); });
+}
+
+BenchResult NocBench(std::uint64_t packets) {
+  sim::EventQueue eq;
+  noc::Mesh mesh(5, 5);
+  noc::Network net(mesh, eq);
+  sim::Rng rng(13);
+  std::uint64_t remaining = 0;
+  // Closed loop: each delivery injects a new random packet.
+  std::function<void(const noc::Packet&, sim::Cycle)> deliver =
+      [&](const noc::Packet&, sim::Cycle) {
+        if (remaining == 0) return;
+        --remaining;
+        noc::Packet p;
+        p.src = static_cast<sim::NodeId>(rng.NextBelow(25));
+        p.dst = static_cast<sim::NodeId>(rng.NextBelow(25));
+        p.size_bytes = 8 + static_cast<int>(rng.NextBelow(4)) * 8;
+        net.Send(std::move(p), deliver);
+      };
+  auto seed = [&] {
+    for (int i = 0; i < 64; ++i) {
+      noc::Packet p;
+      p.src = static_cast<sim::NodeId>(rng.NextBelow(25));
+      p.dst = static_cast<sim::NodeId>(rng.NextBelow(25));
+      net.Send(std::move(p), deliver);
+    }
+  };
+  remaining = packets / 10;
+  seed();
+  eq.RunUntilEmpty();
+  remaining = packets;
+  seed();
+  return Measure("noc_stream", [&] { eq.RunUntilEmpty(); }, [&] { return eq.executed(); });
+}
+
+// ---------------------------------------------------------------------------
+
+void WriteJson(const std::string& path, const std::vector<BenchResult>& rows,
+               double speedup, std::uint64_t events_target) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_substrate: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_substrate\",\n");
+  std::fprintf(f, "  \"events_target\": %llu,\n",
+               static_cast<unsigned long long>(events_target));
+  std::fprintf(f, "  \"speedup_vs_legacy\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"benches\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchResult& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %llu, \"seconds\": %.6f, "
+                 "\"events_per_sec\": %.0f, \"ns_per_event\": %.2f, "
+                 "\"allocs\": %llu, \"allocs_per_event\": %.6f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.events), r.seconds,
+                 r.events_per_sec(), r.ns_per_event(),
+                 static_cast<unsigned long long>(r.allocs), r.allocs_per_event(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  std::uint64_t events = 2'000'000;
+  std::string out = "BENCH_substrate.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--events=", 9) == 0) {
+      events = std::strtoull(arg + 9, nullptr, 10);
+      if (events == 0) {
+        std::fprintf(stderr, "bench_substrate: --events expects a positive integer\n");
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out = arg + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--events=N] [--out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<BenchResult> rows;
+  rows.push_back(ChainBench<sim::EventQueue>("calendar_chain", events));
+  rows.push_back(ChainBench<sim::LegacyEventQueue>("legacy_chain", events));
+  rows.push_back(MixedBench(events));
+  rows.push_back(MemCtrlBench(events / 4));
+  rows.push_back(NocBench(events / 8));
+
+  double speedup = rows[1].events_per_sec() > 0
+                       ? rows[0].events_per_sec() / rows[1].events_per_sec()
+                       : 0.0;
+
+  std::printf("# bench_substrate  (events=%llu)\n",
+              static_cast<unsigned long long>(events));
+  std::printf("%-24s %14s %12s %12s %16s\n", "bench", "events", "Mev/s", "ns/event",
+              "allocs/event");
+  for (const BenchResult& r : rows) {
+    std::printf("%-24s %14llu %12.2f %12.2f %16.6f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events), r.events_per_sec() / 1e6,
+                r.ns_per_event(), r.allocs_per_event());
+  }
+  std::printf("speedup_vs_legacy = %.2fx\n", speedup);
+  WriteJson(out, rows, speedup, events);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ndc
+
+int main(int argc, char** argv) { return ndc::Main(argc, argv); }

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Enforce the substrate performance floors from a BENCH_substrate.json.
+
+Two gates, both measured on the same machine in the same process so they are
+robust to runner speed:
+  - the calendar queue must beat the seed binary-heap queue by at least
+    --min-speedup on the hot small-delay scheduling path;
+  - the hot path must be allocation-free in steady state: the calendar_chain
+    bench may average at most --max-allocs-per-event heap allocations.
+
+Usage: check_substrate_perf.py BENCH_substrate.json
+           [--min-speedup=2.0] [--max-allocs-per-event=0.01]
+Exit: 0 within floors, 1 floor violated, 2 usage/parse errors.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    path = None
+    min_speedup = 2.0
+    max_allocs = 0.01
+    for arg in argv[1:]:
+        if arg.startswith("--min-speedup="):
+            min_speedup = float(arg.split("=", 1)[1])
+        elif arg.startswith("--max-allocs-per-event="):
+            max_allocs = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            path = arg
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_substrate_perf: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+
+    benches = {b["name"]: b for b in report.get("benches", [])}
+    if "calendar_chain" not in benches or "legacy_chain" not in benches:
+        print("check_substrate_perf: report lacks calendar_chain/legacy_chain",
+              file=sys.stderr)
+        return 2
+
+    speedup = report.get("speedup_vs_legacy", 0.0)
+    allocs = benches["calendar_chain"]["allocs_per_event"]
+
+    ok = True
+    if speedup < min_speedup:
+        print(f"FAIL speedup_vs_legacy = {speedup:.2f}x < floor {min_speedup:.2f}x",
+              file=sys.stderr)
+        ok = False
+    else:
+        print(f"ok   speedup_vs_legacy = {speedup:.2f}x (floor {min_speedup:.2f}x)")
+    if allocs > max_allocs:
+        print(f"FAIL calendar_chain allocs/event = {allocs:.6f} > "
+              f"ceiling {max_allocs}", file=sys.stderr)
+        ok = False
+    else:
+        print(f"ok   calendar_chain allocs/event = {allocs:.6f} "
+              f"(ceiling {max_allocs})")
+
+    for row in report.get("benches", []):
+        print(f"     {row['name']:<24} {row['events_per_sec'] / 1e6:8.2f} Mev/s "
+              f"{row['ns_per_event']:8.2f} ns/event "
+              f"{row['allocs_per_event']:10.6f} allocs/event")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

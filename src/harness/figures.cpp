@@ -533,7 +533,7 @@ void ExportObsSummaries(const SweepSpec& spec, const std::string& dir) {
   for (std::size_t i = 0; i < spec.cells.size(); ++i) {
     const CellSpec& c = spec.cells[i];
     json::Value v = RunCellObsSummary(c);
-    char idx[16];
+    char idx[24];  // wide enough for any 64-bit index, silencing -Wformat-truncation
     std::snprintf(idx, sizeof(idx), "%03zu", i);
     std::string path = dir + "/" + spec.figure + "_" + idx + "_" + c.workload + "_" +
                        c.SchemeLabel() + ".json";

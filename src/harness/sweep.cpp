@@ -30,6 +30,10 @@ json::Value SweepSummary::ToJson() const {
     for (const auto& [k, ms] : phase_ms) ph.obj[k] = json::Value::Int(ms);
     v.obj["phases"] = std::move(ph);
   }
+  if (sim_events > 0) {
+    v.obj["sim_events"] = json::Value::Int(sim_events);
+    v.obj["sim_events_per_sec"] = json::Value::Double(sim_events_per_sec);
+  }
   return v;
 }
 
@@ -142,7 +146,15 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& opt) {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
-  out.summary.phase_ms = obs::GlobalPhases().Take().DeltaMsSince(phase_base);
+  obs::PhaseProfiler::Snapshot phase_now = obs::GlobalPhases().Take();
+  out.summary.phase_ms = phase_now.DeltaMsSince(phase_base);
+  out.summary.sim_events = phase_now.sim_events - phase_base.sim_events;
+  constexpr int kSim = static_cast<int>(obs::Phase::kSimulate);
+  std::uint64_t sim_ns = phase_now.ns[kSim] - phase_base.ns[kSim];
+  if (out.summary.sim_events > 0 && sim_ns > 0) {
+    out.summary.sim_events_per_sec =
+        static_cast<double>(out.summary.sim_events) * 1e9 / static_cast<double>(sim_ns);
+  }
   return out;
 }
 

@@ -42,6 +42,12 @@ struct SweepSummary {
   /// summary JSON omits the "phases" key in that case (byte-stable with
   /// pre-observability output).
   std::map<std::string, std::uint64_t> phase_ms;
+  /// Simulated events retired during this sweep and the substrate's
+  /// end-to-end throughput over the kSimulate wall clock. Zero when
+  /// NDC_OBS=OFF or every cell was a cache hit; the summary JSON omits both
+  /// keys in that case (byte-stable with pre-observability output).
+  std::uint64_t sim_events = 0;
+  double sim_events_per_sec = 0.0;
 
   json::Value ToJson() const;
 };

@@ -12,6 +12,8 @@ MemCtrl::MemCtrl(sim::McId id, const AddressMap& amap, const DramParams& dram_pa
   banks_.reserve(static_cast<std::size_t>(amap.banks_per_mc));
   for (int i = 0; i < amap.banks_per_mc; ++i) banks_.emplace_back(dram_params);
   bank_in_flight_.assign(banks_.size(), false);
+  bank_queues_.resize(banks_.size());
+  in_service_.resize(banks_.size());
 }
 
 void MemCtrl::RegisterMetrics(obs::Registry& reg) {
@@ -24,6 +26,7 @@ void MemCtrl::RegisterMetrics(obs::Registry& reg) {
 
 void MemCtrl::EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done,
                           std::uint64_t obs_token) {
+  assert(tag != kWriteSentinelTag && "kWriteSentinelTag is reserved for writes");
   Request r;
   r.tag = tag;
   r.addr = addr;
@@ -37,55 +40,55 @@ void MemCtrl::EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done,
   if constexpr (obs::kObsEnabled) {
     if (m_reads_ != nullptr) m_reads_->Add();
   }
+  ++pending_read_addrs_[addr];
   if (on_enqueue_) on_enqueue_(tag, addr, eq_.now());
-  queue_.push_back(std::move(r));
-  TrySchedule();
+  Enqueue(std::move(r));
 }
 
 void MemCtrl::EnqueueWrite(sim::Addr addr) {
   Request r;
+  r.tag = kWriteSentinelTag;
   r.addr = addr;
   r.bank = amap_->DramBank(addr);
   r.row = amap_->DramRow(addr);
   r.is_write = true;
   r.enqueued_at = eq_.now();
   writes_.Add();
-  queue_.push_back(std::move(r));
+  if (on_enqueue_) on_enqueue_(kWriteSentinelTag, addr, eq_.now());
+  Enqueue(std::move(r));
+}
+
+void MemCtrl::Enqueue(Request r) {
+  bank_queues_[static_cast<std::size_t>(r.bank)].push_back(std::move(r));
+  ++queued_;
   TrySchedule();
 }
 
-bool MemCtrl::HasPendingAddr(sim::Addr addr) const {
-  for (const Request& r : queue_) {
-    if (r.addr == addr) return true;
-  }
-  return std::find(in_service_addrs_.begin(), in_service_addrs_.end(), addr) !=
-         in_service_addrs_.end();
+void MemCtrl::DropPendingRead(sim::Addr addr) {
+  auto it = pending_read_addrs_.find(addr);
+  assert(it != pending_read_addrs_.end());
+  if (--it->second == 0) pending_read_addrs_.erase(it);
 }
 
 void MemCtrl::TrySchedule() {
   // For each idle bank, pick per FR-FCFS: oldest row-hit request for that
-  // bank, else the oldest request for that bank.
-  bool progressed = true;
-  while (progressed) {
-    progressed = false;
-    for (std::size_t b = 0; b < banks_.size(); ++b) {
-      if (bank_in_flight_[b]) continue;
-      std::ptrdiff_t pick = -1;
-      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(queue_.size()); ++i) {
-        const Request& r = queue_[static_cast<std::size_t>(i)];
-        if (r.bank != static_cast<int>(b)) continue;
-        if (banks_[b].IsRowOpen(r.row)) {
-          pick = i;  // first (oldest) row hit wins
-          break;
-        }
-        if (pick < 0) pick = i;  // remember oldest as fallback
+  // bank, else the oldest request for that bank. One pass suffices: issuing
+  // never frees a bank, so a second pass could not make more progress.
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    if (bank_in_flight_[b]) continue;
+    std::deque<Request>& q = bank_queues_[b];
+    if (q.empty()) continue;
+    std::size_t pick = 0;  // oldest overall is the fallback
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (banks_[b].IsRowOpen(q[i].row)) {
+        pick = i;  // first (oldest) row hit wins
+        break;
       }
-      if (pick < 0) continue;
-      Request req = std::move(queue_[static_cast<std::size_t>(pick)]);
-      queue_.erase(queue_.begin() + pick);
-      IssueTo(static_cast<int>(b), std::move(req));
-      progressed = true;
     }
+    Request req = std::move(q[pick]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(pick));
+    --queued_;
+    IssueTo(static_cast<int>(b), std::move(req));
   }
 }
 
@@ -104,22 +107,30 @@ void MemCtrl::IssueTo(int bank_idx, Request req) {
       tracer_->NoteRowHit(req.obs_token, row_hit);
     }
   }
-  in_service_addrs_.push_back(req.addr);
-  eq_.ScheduleAt(done_at, [this, b, req = std::move(req)]() {
-    auto it = std::find(in_service_addrs_.begin(), in_service_addrs_.end(), req.addr);
-    if (it != in_service_addrs_.end()) in_service_addrs_.erase(it);
-    bank_in_flight_[b] = false;
-    if (!req.is_write) {
-      if constexpr (obs::kObsEnabled) {
-        if (tracer_ != nullptr && req.obs_token != 0) {
-          tracer_->Stamp(req.obs_token, obs::Stage::kDramReady, eq_.now());
-        }
+  in_service_[b] = std::move(req);
+  eq_.ScheduleAt(done_at, [this, bank_idx] { Complete(bank_idx); });
+}
+
+void MemCtrl::Complete(int bank_idx) {
+  auto b = static_cast<std::size_t>(bank_idx);
+  // Move the request out and free the bank first: the done callback may
+  // re-enter EnqueueRead and issue straight to this bank's slot.
+  Request req = std::move(in_service_[b]);
+  bank_in_flight_[b] = false;
+  if (!req.is_write) {
+    DropPendingRead(req.addr);
+    assert(req.tag != kWriteSentinelTag && "read completed with the write sentinel tag");
+    if constexpr (obs::kObsEnabled) {
+      if (tracer_ != nullptr && req.obs_token != 0) {
+        tracer_->Stamp(req.obs_token, obs::Stage::kDramReady, eq_.now());
       }
-      if (on_ready_) on_ready_(req.tag, req.addr, eq_.now());
-      if (req.done) req.done(req.tag, eq_.now());
     }
-    TrySchedule();
-  });
+    if (on_ready_) on_ready_(req.tag, req.addr, eq_.now());
+    if (req.done) req.done(req.tag, eq_.now());
+  } else {
+    assert(req.tag == kWriteSentinelTag && "write completed without the sentinel tag");
+  }
+  TrySchedule();
 }
 
 void MemCtrl::MaterializeStats() const {
@@ -134,8 +145,10 @@ void MemCtrl::MaterializeStats() const {
 void MemCtrl::Reset() {
   for (DramBank& b : banks_) b.Reset();
   std::fill(bank_in_flight_.begin(), bank_in_flight_.end(), false);
-  queue_.clear();
-  in_service_addrs_.clear();
+  for (auto& q : bank_queues_) q.clear();
+  for (Request& r : in_service_) r = Request{};
+  queued_ = 0;
+  pending_read_addrs_.clear();
   reads_.Reset();
   writes_.Reset();
   row_hits_.Reset();

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/address_map.hpp"
@@ -22,12 +24,24 @@ namespace ndc::mem {
 /// FR-FCFS: when a bank frees up, the oldest request that hits the currently
 /// open row of its bank is scheduled first; if no queued request is a row
 /// hit, the oldest request overall is scheduled.
+///
+/// Requests are kept in per-bank FIFO deques (a request only ever competes
+/// with requests for its own bank, so per-bank order is all FR-FCFS needs),
+/// and pending read addresses are counted in a hash index, making the
+/// FR-FCFS pick O(that bank's queue) and HasPendingAddr O(1) instead of
+/// full-queue scans.
 class MemCtrl {
  public:
   /// Completion callback: (request tag, data-ready cycle).
   using DoneFn = std::function<void(std::uint64_t, sim::Cycle)>;
   /// Observation hooks for the NDC engine / recorder.
   using QueueHook = std::function<void(std::uint64_t tag, sim::Addr, sim::Cycle)>;
+
+  /// Tag carried by every write request. Writes have no tag of their own
+  /// (fire-and-forget), and must never alias tag 0, which identifies
+  /// untraced *reads* in the hook stream; reads assert they never use it.
+  static constexpr std::uint64_t kWriteSentinelTag =
+      std::numeric_limits<std::uint64_t>::max();
 
   MemCtrl(sim::McId id, const AddressMap& amap, const DramParams& dram_params,
           sim::EventQueue& eq);
@@ -36,24 +50,30 @@ class MemCtrl {
 
   /// Enqueues a read of `addr`; `done` fires when the data is at the
   /// controller (before any NoC response hop). `obs_token` identifies the
-  /// originating traced request (0 = untraced).
+  /// originating traced request (0 = untraced). `tag` must not be
+  /// kWriteSentinelTag.
   void EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done,
                    std::uint64_t obs_token = 0);
 
   /// Enqueues a write (fire-and-forget; occupies the bank but has no
-  /// completion consumer).
+  /// completion consumer). Appears in the enqueue-hook stream with
+  /// kWriteSentinelTag so observers can tell it apart from untraced reads.
   void EnqueueWrite(sim::Addr addr);
 
   /// Number of requests currently queued (not yet issued to a bank).
-  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_depth() const { return queued_; }
 
-  /// True if a read of `addr` is currently sitting in the queue or being
-  /// serviced (used by NDC memory-queue meeting checks).
-  bool HasPendingAddr(sim::Addr addr) const;
+  /// True if a *read* of `addr` is currently sitting in the queue or being
+  /// serviced (used by NDC memory-queue meeting checks). Queued writes do
+  /// not count: a write cannot satisfy an offloaded read's meeting. O(1).
+  bool HasPendingAddr(sim::Addr addr) const {
+    return pending_read_addrs_.find(addr) != pending_read_addrs_.end();
+  }
 
-  /// Hook invoked when a request enters the queue.
+  /// Hook invoked when a request enters the queue (reads and writes; writes
+  /// carry kWriteSentinelTag).
   void set_enqueue_hook(QueueHook h) { on_enqueue_ = std::move(h); }
-  /// Hook invoked when a request's data is ready at the controller.
+  /// Hook invoked when a read's data is ready at the controller.
   void set_ready_hook(QueueHook h) { on_ready_ = std::move(h); }
 
   /// Traced reads stamp FR-FCFS issue and DRAM-ready on `tracer` (may be null).
@@ -91,17 +111,23 @@ class MemCtrl {
     std::uint64_t obs_token = 0;
   };
 
+  void Enqueue(Request r);
   void TrySchedule();
   void IssueTo(int bank_idx, Request req);
+  void Complete(int bank_idx);
   void MaterializeStats() const;
+  void DropPendingRead(sim::Addr addr);
 
   sim::McId id_;
   const AddressMap* amap_;
   sim::EventQueue& eq_;
   std::vector<DramBank> banks_;
   std::vector<bool> bank_in_flight_;
-  std::deque<Request> queue_;
-  std::vector<sim::Addr> in_service_addrs_;
+  std::vector<std::deque<Request>> bank_queues_;  ///< FIFO per bank
+  std::vector<Request> in_service_;               ///< one slot per bank
+  std::size_t queued_ = 0;                        ///< total across bank_queues_
+  /// addr -> number of pending reads (queued or in service) of that addr.
+  std::unordered_map<sim::Addr, int> pending_read_addrs_;
   QueueHook on_enqueue_;
   QueueHook on_ready_;
   obs::RequestTracer* tracer_ = nullptr;

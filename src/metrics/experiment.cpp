@@ -51,7 +51,9 @@ runtime::RunResult Experiment::RunTraces(const std::vector<arch::Trace>& traces,
   obs::ScopedPhase phase(obs::Phase::kSimulate);
   runtime::Machine m(cfg_, opts);
   m.LoadProgram(traces);
-  return m.Run();
+  runtime::RunResult r = m.Run();
+  if constexpr (obs::kObsEnabled) obs::GlobalPhases().AddSimEvents(r.events);
+  return r;
 }
 
 const runtime::RunResult& Experiment::Baseline() {
@@ -165,6 +167,7 @@ SchemeResult Experiment::RunCompiled(compiler::CompileOptions opt) {
   runtime::Machine m(cfg, mopts);
   m.LoadProgram(traces);
   out.run = m.Run();
+  if constexpr (obs::kObsEnabled) obs::GlobalPhases().AddSimEvents(out.run.events);
   out.improvement_pct = ImprovementPct(base.makespan, out.run.makespan);
   return out;
 }

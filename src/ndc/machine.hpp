@@ -85,6 +85,11 @@ class Machine final : public arch::MemoryPort {
   void LoadProgram(std::vector<arch::Trace> traces);
 
   /// Runs to completion (or `limit`) and returns aggregate results.
+  /// Per the EventQueue clock contract, eq().now() == `limit` afterwards
+  /// even when the simulation drained earlier: the whole bounded window
+  /// elapsed.
+  /// Observability end-of-run stamps (unfinished request records, never-met
+  /// decisions) therefore carry `limit`, not the last event's cycle.
   RunResult Run(sim::Cycle limit = 2'000'000'000ull);
 
   // --- MemoryPort (called by cores) ---

@@ -20,25 +20,54 @@ void Network::RegisterMetrics(obs::Registry& reg) {
   }
 }
 
+Network::Flight* Network::AcquireFlight() {
+  if (free_flights_.empty()) {
+    flight_arena_.emplace_back();
+    return &flight_arena_.back();
+  }
+  Flight* f = free_flights_.back();
+  free_flights_.pop_back();
+  return f;
+}
+
+void Network::ReleaseFlight(Flight* f) {
+  f->deliver = nullptr;        // drop captured state now, keep the slot
+  f->packet.route.clear();     // keep capacity for the next packet
+  free_flights_.push_back(f);
+}
+
 std::uint64_t Network::Send(Packet p, DeliverFn on_deliver) {
   p.id = next_id_++;
-  if (p.route.empty() && p.src != p.dst) p.route = XyRoute(mesh_, p.src, p.dst);
   p.hop = 0;
   packets_.Add();
   bytes_.Add(static_cast<std::uint64_t>(p.size_bytes));
   std::uint64_t id = p.id;
+  Flight* f = AcquireFlight();
+  // Hold on to the pooled route buffer so the default X-Y route reuses its
+  // capacity; a caller-selected route replaces it wholesale.
+  Route pooled = std::move(f->packet.route);
+  f->packet = std::move(p);
+  if (f->packet.route.empty()) {
+    if (f->packet.src != f->packet.dst) {
+      XyRouteInto(mesh_, f->packet.src, f->packet.dst, pooled);
+    } else {
+      pooled.clear();
+    }
+    f->packet.route = std::move(pooled);
+  }
+  f->deliver = std::move(on_deliver);
   // Local delivery (same node) still pays one router pipeline transit.
-  eq_.ScheduleAfter(0, [this, p = std::move(p), d = std::move(on_deliver)]() mutable {
-    ProcessHop(std::move(p), std::move(d), /*run_hook=*/true);
-  });
+  eq_.ScheduleAfter(0, [this, f] { ProcessHop(f, /*run_hook=*/true); });
   return id;
 }
 
-void Network::ProcessHop(Packet p, DeliverFn deliver, bool run_hook) {
+void Network::ProcessHop(Flight* f, bool run_hook) {
   sim::Cycle now = eq_.now();
+  Packet& p = f->packet;
   if (p.hop >= p.route.size()) {
-    eq_.ScheduleAfter(params_.router_pipeline, [p = std::move(p), d = std::move(deliver)]() {
-      d(p, 0);
+    eq_.ScheduleAfter(params_.router_pipeline, [this, f] {
+      f->deliver(f->packet, 0);
+      ReleaseFlight(f);
     });
     return;
   }
@@ -50,17 +79,19 @@ void Network::ProcessHop(Packet p, DeliverFn deliver, bool run_hook) {
       case HopAction::kHold:
         holds_.Add();
         ++link_hold_count_[static_cast<std::size_t>(link)];
-        held_.emplace(p.id, Held{std::move(p), std::move(deliver), link});
+        held_.emplace(p.id, Held{f, link});
         return;
       case HopAction::kSquash:
         squashes_.Add();
+        ReleaseFlight(f);
         return;
     }
   }
-  Traverse(std::move(p), std::move(deliver), link);
+  Traverse(f, link);
 }
 
-void Network::Traverse(Packet p, DeliverFn deliver, sim::LinkId link) {
+void Network::Traverse(Flight* f, sim::LinkId link) {
+  Packet& p = f->packet;
   sim::Cycle now = eq_.now();
   sim::Cycle ready = now + params_.router_pipeline;
   // Buffer pressure: each packet held in this link's buffer (an NDC operand
@@ -86,28 +117,27 @@ void Network::Traverse(Packet p, DeliverFn deliver, sim::LinkId link) {
     }
   }
   p.hop++;
-  eq_.ScheduleAt(arrive, [this, p = std::move(p), d = std::move(deliver)]() mutable {
-    ProcessHop(std::move(p), std::move(d), /*run_hook=*/true);
-  });
+  eq_.ScheduleAt(arrive, [this, f] { ProcessHop(f, /*run_hook=*/true); });
 }
 
 void Network::Release(std::uint64_t packet_id) {
   auto it = held_.find(packet_id);
   if (it == held_.end()) return;
-  Held h = std::move(it->second);
+  Held h = it->second;
   held_.erase(it);
   releases_.Add();
   --link_hold_count_[static_cast<std::size_t>(h.link)];
-  Traverse(std::move(h.packet), std::move(h.deliver), h.link);
+  Traverse(h.flight, h.link);
 }
 
 void Network::Squash(std::uint64_t packet_id) {
   auto it = held_.find(packet_id);
   if (it == held_.end()) return;
-  sim::LinkId link = it->second.link;
+  Held h = it->second;
   held_.erase(it);
   squashes_.Add();
-  --link_hold_count_[static_cast<std::size_t>(link)];
+  --link_hold_count_[static_cast<std::size_t>(h.link)];
+  ReleaseFlight(h.flight);
 }
 
 void Network::MaterializeStats() const {

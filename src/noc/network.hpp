@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -106,14 +107,26 @@ class Network {
   }
 
  private:
-  struct Held {
+  /// Pooled per-packet in-flight state. Hop events capture only {this,
+  /// Flight*} (which fits a SmallCallback's inline buffer), so a hop
+  /// schedules nothing on the heap; the seed implementation instead moved
+  /// the whole Packet + DeliverFn into a fresh std::function per hop.
+  /// Flights are recycled through a free list; their route vectors keep
+  /// their capacity across reuse.
+  struct Flight {
     Packet packet;
     DeliverFn deliver;
+  };
+
+  struct Held {
+    Flight* flight;
     sim::LinkId link;
   };
 
-  void ProcessHop(Packet p, DeliverFn deliver, bool run_hook);
-  void Traverse(Packet p, DeliverFn deliver, sim::LinkId link);
+  Flight* AcquireFlight();
+  void ReleaseFlight(Flight* f);
+  void ProcessHop(Flight* f, bool run_hook);
+  void Traverse(Flight* f, sim::LinkId link);
   void MaterializeStats() const;
 
   /// Extra cycles a passing packet pays per held packet in a link buffer.
@@ -130,6 +143,8 @@ class Network {
   // per-held-packet delay (buffer pressure).
   std::vector<int> link_hold_count_;
   std::unordered_map<std::uint64_t, Held> held_;
+  std::deque<Flight> flight_arena_;   ///< stable storage for pooled flights
+  std::vector<Flight*> free_flights_;
   std::uint64_t next_id_ = 1;
 
   sim::RawCounter packets_, bytes_, holds_, squashes_, releases_, hol_blocked_,

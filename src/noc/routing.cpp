@@ -48,11 +48,16 @@ void EnumerateRec(const Mesh& mesh, Coord cur, Coord dst, Route& prefix,
 
 Route XyRoute(const Mesh& mesh, sim::NodeId src, sim::NodeId dst) {
   Route r;
+  XyRouteInto(mesh, src, dst, r);
+  return r;
+}
+
+void XyRouteInto(const Mesh& mesh, sim::NodeId src, sim::NodeId dst, Route& out) {
+  out.clear();
   Coord cur = mesh.CoordOf(src);
   Coord d = mesh.CoordOf(dst);
-  AppendXRun(mesh, cur, d.x, r);
-  AppendYRun(mesh, cur, d.y, r);
-  return r;
+  AppendXRun(mesh, cur, d.x, out);
+  AppendYRun(mesh, cur, d.y, out);
 }
 
 Route YxRoute(const Mesh& mesh, sim::NodeId src, sim::NodeId dst) {

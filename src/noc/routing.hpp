@@ -16,6 +16,10 @@ using Route = std::vector<sim::LinkId>;
 Route XyRoute(const Mesh& mesh, sim::NodeId src, sim::NodeId dst);
 Route YxRoute(const Mesh& mesh, sim::NodeId src, sim::NodeId dst);
 
+/// XyRoute into a caller-owned buffer (cleared first), so hot paths can
+/// reuse a route vector's capacity instead of allocating per packet.
+void XyRouteInto(const Mesh& mesh, sim::NodeId src, sim::NodeId dst, Route& out);
+
 /// A minimal "staircase" route that travels in x until column `pivot_x`,
 /// then in y until row `pivot_y`, then finishes x then y. `pivot_x` /
 /// `pivot_y` must lie within the bounding box of src..dst; the result is

@@ -40,6 +40,16 @@ class PhaseProfiler {
     slots_[static_cast<int>(p)].count.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Simulated events retired inside kSimulate scopes (reported by the
+  /// experiment layer after each Machine::Run). Together with the kSimulate
+  /// wall clock this yields the substrate's end-to-end events/sec.
+  void AddSimEvents(std::uint64_t n) {
+    sim_events_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t sim_events() const {
+    return sim_events_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t ns(Phase p) const {
     return slots_[static_cast<int>(p)].ns.load(std::memory_order_relaxed);
   }
@@ -50,6 +60,7 @@ class PhaseProfiler {
   struct Snapshot {
     std::uint64_t ns[kNumPhases] = {};
     std::uint64_t count[kNumPhases] = {};
+    std::uint64_t sim_events = 0;
 
     /// Per-phase milliseconds since `base`, keyed by phase name; phases with
     /// no delta are omitted. Used for SweepSummary.phase_ms.
@@ -61,6 +72,7 @@ class PhaseProfiler {
       s.ns[i] = slots_[i].ns.load(std::memory_order_relaxed);
       s.count[i] = slots_[i].count.load(std::memory_order_relaxed);
     }
+    s.sim_events = sim_events_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -69,6 +81,7 @@ class PhaseProfiler {
       s.ns.store(0, std::memory_order_relaxed);
       s.count.store(0, std::memory_order_relaxed);
     }
+    sim_events_.store(0, std::memory_order_relaxed);
   }
 
   /// "phase  ms  scopes" table over all phases with activity.
@@ -80,6 +93,7 @@ class PhaseProfiler {
     std::atomic<std::uint64_t> count{0};
   };
   Slot slots_[kNumPhases];
+  std::atomic<std::uint64_t> sim_events_{0};
 };
 
 /// The process-wide profiler every ScopedPhase reports into.

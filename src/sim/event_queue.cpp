@@ -1,33 +1,94 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
-
 namespace ndc::sim {
 
-void EventQueue::ScheduleAt(Cycle when, Callback cb) {
-  assert(when >= now_ && "cannot schedule an event in the past");
-  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+Cycle EventQueue::NextEventCycle() const {
+  Cycle wheel_next = kNeverCycle;
+  const std::size_t pos = static_cast<std::size_t>(now_) & kWheelMask;
+  const std::size_t words = occupied_.size();
+  for (std::size_t step = 0; step < words; ++step) {
+    std::size_t w = ((pos >> 6) + step) % words;
+    std::uint64_t word = occupied_[w];
+    if (step == 0) word &= ~std::uint64_t{0} << (pos & 63);
+    if (word != 0) {
+      std::size_t idx = (w << 6) + static_cast<std::size_t>(__builtin_ctzll(word));
+      wheel_next = now_ + ((idx - pos) & kWheelMask);
+      break;
+    }
+  }
+  if (wheel_next == kNeverCycle && (pos & 63) != 0) {
+    // Wrapped low bits of the starting word (cycles just under now_ + N).
+    std::uint64_t word = occupied_[pos >> 6] & (~std::uint64_t{0} >> (64 - (pos & 63)));
+    if (word != 0) {
+      std::size_t idx = ((pos >> 6) << 6) + static_cast<std::size_t>(__builtin_ctzll(word));
+      wheel_next = now_ + ((idx - pos) & kWheelMask);
+    }
+  }
+  if (!far_.empty() && far_.begin()->first < wheel_next) return far_.begin()->first;
+  return wheel_next;
+}
+
+void EventQueue::StartDrain(Cycle c) {
+  assert(c != kNeverCycle && c >= now_);
+  now_ = c;
+  if (!far_.empty() && far_.begin()->first == c) {
+    far_cur_ = std::move(far_.begin()->second);
+    far_.erase(far_.begin());
+  }
+  far_idx_ = 0;
+  cur_bucket_ = static_cast<std::size_t>(c) & kWheelMask;
+  wheel_idx_ = 0;
+  draining_ = true;
+}
+
+void EventQueue::ExecuteOne() {
+  // Move the callback out before invoking it: the invocation may append to
+  // the very bucket we are draining (ScheduleAt(now)) and reallocate it.
+  SmallCallback cb;
+  if (far_idx_ < far_cur_.size()) {
+    cb = std::move(far_cur_[far_idx_++]);
+  } else {
+    cb = std::move(wheel_[cur_bucket_][wheel_idx_++]);
+  }
+  --pending_;
+  ++executed_;
+  cb();
+  if (far_idx_ >= far_cur_.size() && wheel_idx_ >= wheel_[cur_bucket_].size()) {
+    far_cur_.clear();
+    far_idx_ = 0;
+    wheel_[cur_bucket_].clear();  // keeps capacity for reuse
+    wheel_idx_ = 0;
+    occupied_[cur_bucket_ >> 6] &= ~(1ull << (cur_bucket_ & 63));
+    draining_ = false;
+  }
 }
 
 bool EventQueue::Step() {
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; moving the callback out requires a copy
-  // otherwise, so stash it before popping.
-  Entry e = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  now_ = e.when;
-  ++executed_;
-  e.cb();
+  if (!draining_) {
+    if (pending_ == 0) return false;
+    StartDrain(NextEventCycle());
+  }
+  ExecuteOne();
   return true;
 }
 
 std::uint64_t EventQueue::RunUntilEmpty(Cycle limit) {
   std::uint64_t n = 0;
-  while (!heap_.empty()) {
-    if (heap_.top().when > limit) break;
-    Step();
-    ++n;
+  for (;;) {
+    if (!draining_) {
+      if (pending_ == 0) break;
+      Cycle c = NextEventCycle();
+      if (c > limit) break;
+      StartDrain(c);
+    } else if (now_ > limit) {
+      break;  // mid-drain entries (via Step) beyond the window stay pending
+    }
+    while (draining_) {
+      ExecuteOne();
+      ++n;
+    }
   }
+  if (limit != kNeverCycle && limit > now_) now_ = limit;
   return n;
 }
 

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "mem/address_map.hpp"
@@ -11,6 +12,7 @@
 #include "mem/dram.hpp"
 #include "mem/memctrl.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
 
 namespace ndc::mem {
 namespace {
@@ -201,6 +203,170 @@ TEST_F(McFixture, PendingAddrVisibleInQueue) {
   EXPECT_TRUE(mc->HasPendingAddr(0x42000));
   eq.RunUntilEmpty();
   EXPECT_FALSE(mc->HasPendingAddr(0x42000));
+}
+
+TEST_F(McFixture, QueuedWriteIsNotAPendingRead) {
+  // Regression: HasPendingAddr() used to report queued *writes* too, so the
+  // NDC engine could offload a read expecting to "meet" data in the memory
+  // queue and find a write there instead. Stall bank 0 with a read, then
+  // park a write behind it.
+  mc->EnqueueRead(1, 0, [](std::uint64_t, sim::Cycle) {});
+  mc->EnqueueWrite(64);  // same bank (0); sits in the queue behind the read
+  EXPECT_TRUE(mc->HasPendingAddr(0));
+  EXPECT_FALSE(mc->HasPendingAddr(64));  // pre-fix: true
+  eq.RunUntilEmpty();
+  EXPECT_FALSE(mc->HasPendingAddr(0));
+  EXPECT_FALSE(mc->HasPendingAddr(64));
+}
+
+TEST_F(McFixture, InServiceWriteIsNotAPendingRead) {
+  mc->EnqueueWrite(0x100);  // bank idle: issues immediately
+  EXPECT_FALSE(mc->HasPendingAddr(0x100));
+  eq.RunUntilEmpty();
+  EXPECT_FALSE(mc->HasPendingAddr(0x100));
+}
+
+TEST_F(McFixture, WriteAppearsInEnqueueHookWithSentinelTag) {
+  // Regression: EnqueueWrite carried the default tag 0 internally, aliasing
+  // untraced reads (which legitimately use tag 0), and never reached the
+  // enqueue hook. Writes now carry kWriteSentinelTag end to end.
+  std::vector<std::uint64_t> tags;
+  mc->set_enqueue_hook(
+      [&](std::uint64_t tag, sim::Addr, sim::Cycle) { tags.push_back(tag); });
+  mc->EnqueueRead(0, 0, [](std::uint64_t, sim::Cycle) {});  // untraced read
+  mc->EnqueueWrite(64);
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0], 0u);
+  EXPECT_EQ(tags[1], MemCtrl::kWriteSentinelTag);
+  EXPECT_NE(tags[1], tags[0]);  // a write never aliases an untraced read
+  eq.RunUntilEmpty();
+}
+
+#ifndef NDEBUG
+TEST(McDeathTest, ReadWithWriteSentinelTagAssertsInDebugBuilds) {
+  AddressMap amap;
+  DramParams dram;
+  sim::EventQueue eq;
+  MemCtrl mc(0, amap, dram, eq);
+  EXPECT_DEATH(
+      mc.EnqueueRead(MemCtrl::kWriteSentinelTag, 0, [](std::uint64_t, sim::Cycle) {}),
+      "reserved for writes");
+}
+#endif
+
+TEST_F(McFixture, PendingAddrCountsDuplicateReads) {
+  // Two reads of one address: the address stays pending until the *last*
+  // read completes (the index counts, it does not just flag).
+  std::vector<bool> pending_at_done;
+  auto cb = [&](std::uint64_t, sim::Cycle) {
+    pending_at_done.push_back(mc->HasPendingAddr(0));
+  };
+  mc->EnqueueRead(1, 0, cb);
+  mc->EnqueueRead(2, 0, cb);
+  EXPECT_TRUE(mc->HasPendingAddr(0));
+  eq.RunUntilEmpty();
+  ASSERT_EQ(pending_at_done.size(), 2u);
+  EXPECT_TRUE(pending_at_done[0]);   // duplicate still outstanding
+  EXPECT_FALSE(pending_at_done[1]);
+}
+
+TEST_F(McFixture, FrFcfsOldestRowHitWinsAmongSeveralHits) {
+  std::vector<std::uint64_t> order;
+  auto cb = [&](std::uint64_t tag, sim::Cycle) { order.push_back(tag); };
+  sim::Addr row0 = 0, row7 = 16384ull * 16 * 7;  // both bank 0
+  mc->EnqueueRead(1, row0, cb);
+  mc->EnqueueRead(2, row7, cb);
+  mc->EnqueueRead(3, row0 + 64, cb);
+  mc->EnqueueRead(4, row0 + 128, cb);
+  eq.RunUntilEmpty();
+  // After 1 opens row 0: hits 3 then 4 (oldest hit first), then miss 2.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 3, 4, 2}));
+}
+
+TEST_F(McFixture, FrFcfsFallsBackToFifoWithoutRowHits) {
+  std::vector<std::uint64_t> order;
+  auto cb = [&](std::uint64_t tag, sim::Cycle) { order.push_back(tag); };
+  for (std::uint64_t t = 1; t <= 4; ++t) {
+    // Every request targets a different row of bank 0: no hit is possible,
+    // so FR-FCFS must degrade to exact FIFO (no starvation reordering).
+    mc->EnqueueRead(t, static_cast<sim::Addr>(t) * 16384ull * 16, cb);
+  }
+  eq.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+// Replays a completed request stream against the FR-FCFS definition: every
+// serviced request must have been the oldest row hit on the bank's open row,
+// or the oldest outstanding request when no hit existed.
+struct FrFcfsReplay {
+  struct Req {
+    std::uint64_t tag;
+    std::uint64_t row;
+  };
+  std::vector<Req> pending;
+  bool have_open = false;
+  std::uint64_t open_row = 0;
+
+  void Check(const std::vector<std::uint64_t>& completed) {
+    for (std::uint64_t tag : completed) {
+      std::size_t expect = 0;
+      bool hit = false;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (have_open && pending[i].row == open_row) {
+          expect = i;
+          hit = true;
+          break;
+        }
+      }
+      ASSERT_LT(expect, pending.size());
+      EXPECT_EQ(tag, pending[expect].tag)
+          << (hit ? "oldest row hit must win" : "oldest overall must win");
+      if (tag != pending[expect].tag) return;
+      open_row = pending[expect].row;
+      have_open = true;
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(expect));
+    }
+    EXPECT_TRUE(pending.empty());
+  }
+};
+
+TEST_F(McFixture, FrFcfsReplayPropertySingleBankRandomized) {
+  sim::Rng rng(2024);
+  FrFcfsReplay replay;
+  std::vector<std::uint64_t> completed;
+  auto cb = [&](std::uint64_t tag, sim::Cycle) { completed.push_back(tag); };
+  for (std::uint64_t t = 1; t <= 60; ++t) {
+    std::uint64_t row = rng.NextBelow(4);
+    sim::Addr addr = static_cast<sim::Addr>(row) * 16384ull * 16 + t * 64;  // bank 0
+    replay.pending.push_back({t, row});
+    mc->EnqueueRead(t, addr, cb);
+  }
+  eq.RunUntilEmpty();
+  ASSERT_EQ(completed.size(), 60u);
+  replay.Check(completed);
+}
+
+TEST_F(McFixture, FrFcfsReplayPropertyMultiBankRandomized) {
+  sim::Rng rng(77);
+  constexpr std::uint64_t kBanks = 4;
+  FrFcfsReplay replay[kBanks];
+  std::vector<std::uint64_t> completed[kBanks];
+  for (std::uint64_t t = 1; t <= 120; ++t) {
+    std::uint64_t bank = rng.NextBelow(kBanks);
+    std::uint64_t row = rng.NextBelow(3);
+    // bank stride 16 KB, row stride 16 banks' worth; offset stays in-page.
+    sim::Addr addr = static_cast<sim::Addr>(row) * 16384ull * 16 + bank * 16384ull +
+                     (t % 64) * 64;
+    replay[bank].pending.push_back({t, row});
+    mc->EnqueueRead(t, addr, [&completed, bank](std::uint64_t tag, sim::Cycle) {
+      completed[bank].push_back(tag);
+    });
+  }
+  eq.RunUntilEmpty();
+  for (std::uint64_t b = 0; b < kBanks; ++b) {
+    ASSERT_EQ(completed[b].size(), replay[b].pending.size()) << "bank " << b;
+    replay[b].Check(completed[b]);
+  }
 }
 
 TEST_F(McFixture, HookFiresOnEnqueueAndReady) {

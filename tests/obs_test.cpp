@@ -289,7 +289,9 @@ TEST_F(ObsEndToEnd, TraceJsonFromRealRunIsValidChromeTraceEvent) {
     for (const char* key : {"ph", "ts", "pid", "tid", "name"}) {
       ASSERT_NE(e.Find(key), nullptr);
     }
-    if (e.Find("ph")->str == "X") ASSERT_NE(e.Find("dur"), nullptr);
+    if (e.Find("ph")->str == "X") {
+      ASSERT_NE(e.Find("dur"), nullptr);
+    }
   }
 }
 

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/legacy_event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -62,6 +65,121 @@ TEST(EventQueue, StepReturnsFalseWhenEmpty) {
   eq.ScheduleAt(1, [] {});
   EXPECT_TRUE(eq.Step());
   EXPECT_FALSE(eq.Step());
+}
+
+TEST(EventQueue, BoundedRunAdvancesClockToLimit) {
+  // Regression: RunUntilEmpty(limit) used to leave now() at the last
+  // *executed* event, so code that kept scheduling relative to now() after a
+  // bounded run worked from a stale clock. Contract: the whole bounded
+  // window elapses, so now() == limit afterwards.
+  EventQueue eq;
+  int fired = 0;
+  eq.ScheduleAt(5, [&] { ++fired; });
+  eq.ScheduleAt(50, [&] { ++fired; });
+  eq.RunUntilEmpty(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eq.now(), 10u);  // pre-fix: stuck at 5
+  eq.RunUntilEmpty(40);      // nothing executes; the window still elapses
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eq.now(), 40u);
+  eq.RunUntilEmpty();        // unbounded: clock rests at the last event
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, ScheduleAfterBoundedRunUsesTheLimitAsBase) {
+  EventQueue eq;
+  eq.ScheduleAt(3, [] {});
+  eq.RunUntilEmpty(100);
+  std::vector<Cycle> at;
+  eq.ScheduleAfter(5, [&] { at.push_back(eq.now()); });
+  eq.RunUntilEmpty();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], 105u);  // pre-fix: 8 (relative to the stale clock)
+}
+
+TEST(EventQueue, SameCycleFifoAcrossScheduleAtAndScheduleAfter) {
+  // The FIFO tie-break must not depend on which API scheduled the event.
+  EventQueue eq;
+  std::vector<int> order;
+  eq.ScheduleAt(0, [&] {
+    eq.ScheduleAt(9, [&] { order.push_back(0); });
+    eq.ScheduleAfter(9, [&] { order.push_back(1); });
+    eq.ScheduleAt(9, [&] { order.push_back(2); });
+    eq.ScheduleAfter(9, [&] { order.push_back(3); });
+  });
+  eq.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, FarEventsRunBeforeSameCycleWheelEvents) {
+  // An event scheduled for cycle K while K was beyond the wheel horizon
+  // lives in the overflow map; it is strictly older than any event scheduled
+  // for K after K entered the wheel window, so FIFO demands it run first.
+  EventQueue eq;
+  std::vector<int> order;
+  eq.ScheduleAt(5000, [&] { order.push_back(1); });  // far at schedule time
+  eq.ScheduleAt(1000, [&] {
+    eq.ScheduleAt(5000, [&] { order.push_back(2); });  // 4000 ahead: wheel
+  });
+  eq.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eq.now(), 5000u);
+}
+
+TEST(EventQueue, CallbacksOfAllStorageClassesExecute) {
+  // Covers the three SmallCallback homes: inline buffer (<= 64 B), pooled
+  // arena block (<= 256 B), and the plain-heap fallback.
+  EventQueue eq;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, 4> small{1, 2, 3, 4};
+  std::array<std::uint64_t, 16> medium{};
+  medium[0] = 5;
+  std::array<std::uint64_t, 64> large{};
+  large[0] = 6;
+  eq.ScheduleAt(1, [&sum, small] {
+    for (auto v : small) sum += v;
+  });
+  eq.ScheduleAt(2, [&sum, medium] { sum += medium[0]; });
+  eq.ScheduleAt(3, [&sum, large] { sum += large[0]; });
+  eq.RunUntilEmpty();
+  EXPECT_EQ(sum, 21u);
+}
+
+// Runs an identical randomized, reentrant schedule on a queue type and
+// returns the execution order. Delays span 0 .. ~20000 cycles, so events
+// land both inside the calendar wheel and in the far-overflow map, and
+// callbacks reschedule (including same-cycle) while their bucket drains.
+template <typename Queue>
+std::vector<std::uint64_t> ExecutionOrder() {
+  Queue q;
+  std::vector<std::uint64_t> order;
+  std::uint64_t next_id = 10000;
+  std::function<void(std::uint64_t)> body = [&](std::uint64_t id) {
+    order.push_back(id);
+    if (id % 3 == 0 && next_id < 11500) {
+      std::uint64_t far_child = next_id++;
+      q.ScheduleAfter((id * 37 + 11) % 9000, [&body, far_child] { body(far_child); });
+      std::uint64_t near_child = next_id++;
+      q.ScheduleAfter(0, [&body, near_child] { body(near_child); });
+    }
+  };
+  Rng rng(99);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    q.ScheduleAt(rng.NextBelow(20000), [&body, i] { body(i); });
+  }
+  q.RunUntilEmpty();
+  return order;
+}
+
+TEST(EventQueue, MatchesLegacyQueueOnRandomizedReentrantSchedules) {
+  // The bit-identical figure-output guarantee rests on this property: the
+  // calendar queue executes any schedule in exactly the order the seed
+  // binary-heap queue (explicit FIFO sequence numbers) did.
+  std::vector<std::uint64_t> calendar = ExecutionOrder<EventQueue>();
+  std::vector<std::uint64_t> legacy = ExecutionOrder<LegacyEventQueue>();
+  ASSERT_GT(calendar.size(), 500u);  // reentrant children actually spawned
+  EXPECT_EQ(calendar, legacy);
 }
 
 TEST(BucketHistogram, PaperBucketsClassifyCorrectly) {
