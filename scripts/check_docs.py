@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Doc-lint: keep the top-level docs anchored to the code they describe.
+
+Three checks, all fatal:
+  - coverage: every subsystem directory under src/ is mentioned in
+    DESIGN.md (as `src/<dir>`), so a new subsystem cannot land without
+    design documentation;
+  - existence: every `scripts/...` path and every `build/tools/...` /
+    `build/bench/...` binary referenced from a tracked markdown file maps
+    to a real file in the repo (scripts/<name>, tools/<stem>.cpp with
+    `-` spelled `_`, bench/<stem>.cpp);
+  - links: every relative markdown link target in a tracked *.md file
+    resolves to an existing file or directory (http(s), mailto and
+    pure-#anchor links are skipped).
+
+Usage: check_docs.py [REPO_ROOT]
+Exit: 0 clean, 1 findings, 2 usage errors.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# Directories under src/ that are organizational only and need no
+# DESIGN.md section of their own. Keep this list empty unless a dir
+# truly has no design surface.
+COVERAGE_EXEMPT = set()
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SCRIPT_RE = re.compile(r"\bscripts/([A-Za-z0-9_.-]+)")
+BINARY_RE = re.compile(r"\bbuild[-a-z]*/(tools|bench)/([A-Za-z0-9_-]+)")
+
+
+def tracked_markdown(root):
+    out = subprocess.run(
+        ["git", "-C", root, "ls-files", "*.md"],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    return [line for line in out.splitlines() if line]
+
+
+def check_coverage(root, findings):
+    design = open(os.path.join(root, "DESIGN.md"), encoding="utf-8").read()
+    src = os.path.join(root, "src")
+    for entry in sorted(os.listdir(src)):
+        if not os.path.isdir(os.path.join(src, entry)):
+            continue
+        if entry in COVERAGE_EXEMPT:
+            continue
+        if "src/" + entry not in design:
+            findings.append(
+                f"DESIGN.md: no mention of src/{entry} — document the "
+                f"subsystem (inventory row + section) or exempt it in "
+                f"scripts/check_docs.py"
+            )
+
+
+def check_file(root, md, findings):
+    text = open(os.path.join(root, md), encoding="utf-8").read()
+    md_dir = os.path.dirname(os.path.join(root, md))
+
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(os.path.join(md_dir, path))
+        if not os.path.exists(resolved):
+            findings.append(f"{md}: dead relative link -> {target}")
+
+    for name in SCRIPT_RE.findall(text):
+        if not os.path.exists(os.path.join(root, "scripts", name)):
+            findings.append(f"{md}: references missing scripts/{name}")
+
+    for kind, stem in BINARY_RE.findall(text):
+        srcdir = "tools" if kind == "tools" else "bench"
+        candidates = [stem + ".cpp", stem.replace("-", "_") + ".cpp"]
+        if not any(
+            os.path.exists(os.path.join(root, srcdir, c)) for c in candidates
+        ):
+            findings.append(
+                f"{md}: references build/{kind}/{stem} but no "
+                f"{srcdir}/{candidates[-1]} exists"
+            )
+
+
+def main(argv):
+    if len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = os.path.abspath(argv[1] if len(argv) == 2 else ".")
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"check_docs: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    findings = []
+    check_coverage(root, findings)
+    docs = tracked_markdown(root)
+    for md in docs:
+        check_file(root, md, findings)
+
+    if findings:
+        for f in findings:
+            print(f"check_docs: {f}", file=sys.stderr)
+        print(f"check_docs: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: ok ({len(docs)} markdown files, "
+          f"docs anchored to src/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,9 @@
+#pragma once
+
+// Umbrella header for the fault-injection & resilience subsystem.
+// See DESIGN.md §11 for the fault model taxonomy, the schedule grammar, the
+// retry/timeout/degrade state machine, and determinism guarantees.
+
+#include "fault/conservation.hpp"  // IWYU pragma: export
+#include "fault/injector.hpp"      // IWYU pragma: export
+#include "fault/schedule.hpp"      // IWYU pragma: export

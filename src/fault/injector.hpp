@@ -1,0 +1,119 @@
+#pragma once
+
+// FaultInjector: the runtime evaluator of a FaultSchedule. One injector is
+// built per simulation run; every probabilistic draw flows through its own
+// seeded sim::Rng, and draws happen in deterministic event-execution order,
+// so the same (schedule, workload, seed) triple always injects the same
+// faults at the same cycles.
+//
+// The injector is consumed through plain std::function hooks on noc::Network
+// and mem::MemCtrl (those modules never see fault types), and directly by the
+// NDC machine for retry/backoff budgets. It also tallies every injection so
+// bench_resilience can report what a run actually experienced.
+
+#include <cstdint>
+
+#include "fault/schedule.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace ndc::fault {
+
+/// What a link traversal experiences at a given cycle.
+struct LinkEffect {
+  sim::Cycle extra_latency = 0;
+  bool drop = false;
+  sim::Cycle retransmit_delay = 0;  ///< valid when drop is true
+};
+
+/// What a faulted bank does to its next FR-FCFS pick.
+enum class BankEffect : std::uint8_t {
+  kHealthy = 0,
+  kStall,  ///< issue nothing; re-check at StallEnd()
+  kNack,   ///< reject the pick; re-enqueue after nack backoff
+};
+
+/// Running tally of injected faults (for degradation-curve reports).
+struct InjectionCounts {
+  std::uint64_t link_delays = 0;
+  std::uint64_t link_drops = 0;
+  std::uint64_t bank_stalls = 0;
+  std::uint64_t bank_nacks = 0;
+  std::uint64_t mc_pressure_hits = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSchedule schedule)
+      : schedule_(std::move(schedule)), rng_(schedule_.seed) {}
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const ResilienceParams& resilience() const { return schedule_.resilience; }
+  const InjectionCounts& counts() const { return counts_; }
+
+  /// Evaluates link-fault windows for a packet about to traverse `link`.
+  /// Draws the RNG only when a window with drop_prob > 0 matches, so runs
+  /// whose schedules never match consume no randomness.
+  LinkEffect OnLinkTraverse(sim::LinkId link, sim::Cycle now) {
+    LinkEffect e;
+    for (const LinkFaultWindow& w : schedule_.link_faults) {
+      if (w.link != link || now < w.start || now >= w.end) continue;
+      e.extra_latency += w.extra_latency;
+      if (!e.drop && w.drop_prob > 0.0 && rng_.NextBool(w.drop_prob)) {
+        e.drop = true;
+        e.retransmit_delay = schedule_.resilience.retransmit_delay;
+      }
+    }
+    if (e.extra_latency > 0) ++counts_.link_delays;
+    if (e.drop) ++counts_.link_drops;
+    return e;
+  }
+
+  /// Evaluates bank-fault windows for an idle bank the controller is about
+  /// to schedule. A stall window dominates a nack window if both match.
+  BankEffect OnBankSchedule(sim::McId mc, int bank, sim::Cycle now) {
+    BankEffect e = BankEffect::kHealthy;
+    for (const BankFaultWindow& w : schedule_.bank_faults) {
+      if (w.mc != mc || w.bank != bank || now < w.start || now >= w.end) continue;
+      if (w.kind == BankFaultKind::kStall) {
+        e = BankEffect::kStall;
+        break;
+      }
+      e = BankEffect::kNack;
+    }
+    if (e == BankEffect::kStall) ++counts_.bank_stalls;
+    if (e == BankEffect::kNack) ++counts_.bank_nacks;
+    return e;
+  }
+
+  /// End of the latest stall window covering (mc, bank, now); callers
+  /// schedule their retry wake there. Only meaningful after kStall.
+  sim::Cycle StallEnd(sim::McId mc, int bank, sim::Cycle now) const {
+    sim::Cycle end = now + 1;
+    for (const BankFaultWindow& w : schedule_.bank_faults) {
+      if (w.mc != mc || w.bank != bank || now < w.start || now >= w.end) continue;
+      if (w.kind == BankFaultKind::kStall && w.end > end) end = w.end;
+    }
+    return end;
+  }
+
+  sim::Cycle nack_backoff() const { return schedule_.resilience.nack_backoff; }
+
+  /// Extra delay a request entering controller `mc` pays right now.
+  sim::Cycle OnMcEnqueue(sim::McId mc, sim::Cycle now) {
+    sim::Cycle delay = 0;
+    for (const McPressureWindow& w : schedule_.mc_pressure) {
+      if (w.mc != mc || now < w.start || now >= w.end) continue;
+      delay += w.extra_delay;
+    }
+    if (delay > 0) ++counts_.mc_pressure_hits;
+    return delay;
+  }
+
+ private:
+  FaultSchedule schedule_;
+  sim::Rng rng_;
+  InjectionCounts counts_;
+};
+
+}  // namespace ndc::fault

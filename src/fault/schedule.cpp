@@ -1,0 +1,602 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "sim/rng.hpp"
+
+namespace ndc::fault {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader, scoped to the schedule grammar (objects, arrays,
+// numbers, strings, bool). src/fault cannot use ndc::harness::json — the
+// harness links against this module — so the few dozen lines live here.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  // std::map keeps key order stable for error messages; schedules are tiny.
+  std::map<std::string, JsonValue> obj;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  bool Parse(JsonValue* out, std::string* err) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      if (err != nullptr) *err = err_;
+      return false;
+    }
+    SkipWs();
+    if (pos_ != s_.size()) {
+      if (err != nullptr) *err = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& msg) {
+    err_ = msg + " (at offset " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return Fail("unexpected end of input");
+    char c = s_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') return ParseString(out);
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      return ParseNumber(out);
+    }
+    return Fail(std::string("unexpected character '") + c + "'");
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JsonValue key;
+      if (pos_ >= s_.size() || s_[pos_] != '"') return Fail("expected object key");
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      JsonValue val;
+      if (!ParseValue(&val)) return false;
+      if (!out->obj.emplace(key.str, std::move(val)).second) {
+        return Fail("duplicate key \"" + key.str + "\"");
+      }
+      SkipWs();
+      if (pos_ >= s_.size()) return Fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue val;
+      if (!ParseValue(&val)) return false;
+      out->arr.push_back(std::move(val));
+      SkipWs();
+      if (pos_ >= s_.size()) return Fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(JsonValue* out) {
+    out->type = JsonValue::Type::kString;
+    ++pos_;  // '"'
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return Fail("unterminated escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out->str.push_back('"'); break;
+          case '\\': out->str.push_back('\\'); break;
+          case '/': out->str.push_back('/'); break;
+          case 'n': out->str.push_back('\n'); break;
+          case 't': out->str.push_back('\t'); break;
+          default: return Fail("unsupported escape in string");
+        }
+      } else {
+        out->str.push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseBool(JsonValue* out) {
+    out->type = JsonValue::Type::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->b = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->b = false;
+      pos_ += 5;
+      return true;
+    }
+    return Fail("expected 'true' or 'false'");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    out->type = JsonValue::Type::kNumber;
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    try {
+      out->num = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return Fail("malformed number");
+    }
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+// ---------------------------------------------------------------------------
+// Field extraction with strict unknown-key rejection: a typo'd key must not
+// silently produce an un-faulted run.
+// ---------------------------------------------------------------------------
+
+class FieldReader {
+ public:
+  FieldReader(const JsonValue& obj, std::string where, std::string* err)
+      : obj_(obj), where_(std::move(where)), err_(err) {}
+
+  bool Int(const char* key, std::int64_t* out) {
+    const JsonValue* v = Take(key);
+    if (v == nullptr) return !failed_;
+    if (v->type != JsonValue::Type::kNumber ||
+        v->num != std::floor(v->num)) {
+      return Fail(std::string(key) + " must be an integer");
+    }
+    *out = static_cast<std::int64_t>(v->num);
+    return true;
+  }
+
+  bool Uint(const char* key, std::uint64_t* out) {
+    std::int64_t v = static_cast<std::int64_t>(*out);
+    if (!Int(key, &v)) return false;
+    if (v < 0) return Fail(std::string(key) + " must be non-negative");
+    *out = static_cast<std::uint64_t>(v);
+    return true;
+  }
+
+  bool Double(const char* key, double* out) {
+    const JsonValue* v = Take(key);
+    if (v == nullptr) return !failed_;
+    if (v->type != JsonValue::Type::kNumber) {
+      return Fail(std::string(key) + " must be a number");
+    }
+    *out = v->num;
+    return true;
+  }
+
+  bool String(const char* key, std::string* out) {
+    const JsonValue* v = Take(key);
+    if (v == nullptr) return !failed_;
+    if (v->type != JsonValue::Type::kString) {
+      return Fail(std::string(key) + " must be a string");
+    }
+    *out = v->str;
+    return true;
+  }
+
+  const JsonValue* Object(const char* key) {
+    const JsonValue* v = Take(key);
+    if (v == nullptr) return nullptr;
+    if (v->type != JsonValue::Type::kObject) {
+      Fail(std::string(key) + " must be an object");
+      return nullptr;
+    }
+    return v;
+  }
+
+  const JsonValue* Array(const char* key) {
+    const JsonValue* v = Take(key);
+    if (v == nullptr) return nullptr;
+    if (v->type != JsonValue::Type::kArray) {
+      Fail(std::string(key) + " must be an array");
+      return nullptr;
+    }
+    return v;
+  }
+
+  /// Call after all known keys were consumed; rejects leftovers.
+  bool Finish() {
+    if (failed_) return false;
+    for (const auto& [key, value] : obj_.obj) {
+      if (taken_.count(key) == 0) {
+        return Fail("unknown key \"" + key + "\"");
+      }
+    }
+    return true;
+  }
+
+  bool Fail(const std::string& msg) {
+    failed_ = true;
+    if (err_ != nullptr && err_->empty()) *err_ = where_ + ": " + msg;
+    return false;
+  }
+
+ private:
+  const JsonValue* Take(const char* key) {
+    if (failed_) return nullptr;
+    taken_.insert(key);
+    auto it = obj_.obj.find(key);
+    return it == obj_.obj.end() ? nullptr : &it->second;
+  }
+
+  const JsonValue& obj_;
+  std::string where_;
+  std::string* err_;
+  std::set<std::string> taken_;
+  bool failed_ = false;
+};
+
+bool RequireWindow(FieldReader& fr, sim::Cycle start, sim::Cycle end) {
+  if (end < start) return fr.Fail("window end precedes start");
+  return true;
+}
+
+std::string FormatDouble(double d) {
+  // Shortest round-trip-stable form keeps canonical strings readable and
+  // platform-independent for the values schedules actually use.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  double back = 0.0;
+  std::sscanf(buf, "%lg", &back);
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, d);
+    std::sscanf(shorter, "%lg", &back);
+    if (back == d) return shorter;
+  }
+  return buf;
+}
+
+sim::Cycle ScaleCycles(sim::Cycle c, double factor) {
+  double scaled = static_cast<double>(c) * factor;
+  if (scaled <= 0.0) return 0;
+  return static_cast<sim::Cycle>(std::llround(scaled));
+}
+
+}  // namespace
+
+const char* BankFaultKindName(BankFaultKind k) {
+  return k == BankFaultKind::kStall ? "stall" : "nack";
+}
+
+std::string FaultSchedule::CanonicalString() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  for (const LinkFaultWindow& w : link_faults) {
+    os << ";link{" << w.link << "," << w.start << "," << w.end << ","
+       << w.extra_latency << "," << FormatDouble(w.drop_prob) << "}";
+  }
+  for (const BankFaultWindow& w : bank_faults) {
+    os << ";bank{" << w.mc << "," << w.bank << "," << w.start << "," << w.end
+       << "," << BankFaultKindName(w.kind) << "}";
+  }
+  for (const McPressureWindow& w : mc_pressure) {
+    os << ";press{" << w.mc << "," << w.start << "," << w.end << ","
+       << w.extra_delay << "}";
+  }
+  os << ";res{" << resilience.max_retries << ","
+     << FormatDouble(resilience.backoff_mult) << ","
+     << resilience.retransmit_delay << "," << resilience.nack_backoff << "}";
+  return os.str();
+}
+
+std::string FaultSchedule::ToJson() const {
+  std::ostringstream os;
+  os << "{\"seed\":" << seed;
+  if (!link_faults.empty()) {
+    os << ",\"link_faults\":[";
+    for (std::size_t i = 0; i < link_faults.size(); ++i) {
+      const LinkFaultWindow& w = link_faults[i];
+      if (i != 0) os << ",";
+      os << "{\"link\":" << w.link << ",\"start\":" << w.start
+         << ",\"end\":" << w.end << ",\"extra_latency\":" << w.extra_latency
+         << ",\"drop_prob\":" << FormatDouble(w.drop_prob) << "}";
+    }
+    os << "]";
+  }
+  if (!bank_faults.empty()) {
+    os << ",\"bank_faults\":[";
+    for (std::size_t i = 0; i < bank_faults.size(); ++i) {
+      const BankFaultWindow& w = bank_faults[i];
+      if (i != 0) os << ",";
+      os << "{\"mc\":" << w.mc << ",\"bank\":" << w.bank
+         << ",\"start\":" << w.start << ",\"end\":" << w.end << ",\"kind\":\""
+         << BankFaultKindName(w.kind) << "\"}";
+    }
+    os << "]";
+  }
+  if (!mc_pressure.empty()) {
+    os << ",\"mc_pressure\":[";
+    for (std::size_t i = 0; i < mc_pressure.size(); ++i) {
+      const McPressureWindow& w = mc_pressure[i];
+      if (i != 0) os << ",";
+      os << "{\"mc\":" << w.mc << ",\"start\":" << w.start
+         << ",\"end\":" << w.end << ",\"extra_delay\":" << w.extra_delay << "}";
+    }
+    os << "]";
+  }
+  os << ",\"resilience\":{\"max_retries\":" << resilience.max_retries
+     << ",\"backoff_mult\":" << FormatDouble(resilience.backoff_mult)
+     << ",\"retransmit_delay\":" << resilience.retransmit_delay
+     << ",\"nack_backoff\":" << resilience.nack_backoff << "}}";
+  return os.str();
+}
+
+FaultSchedule FaultSchedule::Scaled(double factor) const {
+  FaultSchedule s = *this;
+  if (factor < 0.0) factor = 0.0;
+  s.link_faults.clear();
+  s.bank_faults.clear();
+  s.mc_pressure.clear();
+  if (factor == 0.0) return s;
+  for (const LinkFaultWindow& w : link_faults) {
+    LinkFaultWindow scaled = w;
+    scaled.extra_latency = ScaleCycles(w.extra_latency, factor);
+    scaled.drop_prob = std::min(1.0, w.drop_prob * factor);
+    if (scaled.extra_latency > 0 || scaled.drop_prob > 0.0) {
+      s.link_faults.push_back(scaled);
+    }
+  }
+  s.bank_faults = bank_faults;
+  for (const McPressureWindow& w : mc_pressure) {
+    McPressureWindow scaled = w;
+    scaled.extra_delay = ScaleCycles(w.extra_delay, factor);
+    if (scaled.extra_delay > 0) s.mc_pressure.push_back(scaled);
+  }
+  return s;
+}
+
+bool ParseSchedule(const std::string& text, FaultSchedule* out, std::string* err) {
+  if (err != nullptr) err->clear();
+  JsonValue root;
+  {
+    JsonReader reader(text);
+    std::string perr;
+    if (!reader.Parse(&root, &perr)) {
+      if (err != nullptr) *err = "fault schedule: " + perr;
+      return false;
+    }
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    if (err != nullptr) *err = "fault schedule: top level must be an object";
+    return false;
+  }
+  FaultSchedule sched;
+  FieldReader fr(root, "fault schedule", err);
+  if (!fr.Uint("seed", &sched.seed)) return false;
+  if (const JsonValue* arr = fr.Array("link_faults")) {
+    for (std::size_t i = 0; i < arr->arr.size(); ++i) {
+      const JsonValue& e = arr->arr[i];
+      std::string where = "link_faults[" + std::to_string(i) + "]";
+      if (e.type != JsonValue::Type::kObject) return fr.Fail(where + " must be an object");
+      FieldReader wfr(e, where, err);
+      LinkFaultWindow w;
+      std::int64_t link = 0;
+      bool ok = wfr.Int("link", &link) && wfr.Uint("start", &w.start) &&
+                wfr.Uint("end", &w.end) && wfr.Uint("extra_latency", &w.extra_latency) &&
+                wfr.Double("drop_prob", &w.drop_prob) && wfr.Finish() &&
+                RequireWindow(wfr, w.start, w.end);
+      if (!ok) return fr.Fail("invalid link fault window");
+      if (w.drop_prob < 0.0 || w.drop_prob > 1.0) {
+        return wfr.Fail("drop_prob must be in [0, 1]") && false;
+      }
+      w.link = static_cast<sim::LinkId>(link);
+      sched.link_faults.push_back(w);
+    }
+  }
+  if (const JsonValue* arr = fr.Array("bank_faults")) {
+    for (std::size_t i = 0; i < arr->arr.size(); ++i) {
+      const JsonValue& e = arr->arr[i];
+      std::string where = "bank_faults[" + std::to_string(i) + "]";
+      if (e.type != JsonValue::Type::kObject) return fr.Fail(where + " must be an object");
+      FieldReader wfr(e, where, err);
+      BankFaultWindow w;
+      std::int64_t mc = 0, bank = 0;
+      std::string kind = "stall";
+      bool ok = wfr.Int("mc", &mc) && wfr.Int("bank", &bank) &&
+                wfr.Uint("start", &w.start) && wfr.Uint("end", &w.end) &&
+                wfr.String("kind", &kind) && wfr.Finish() &&
+                RequireWindow(wfr, w.start, w.end);
+      if (!ok) return fr.Fail("invalid bank fault window");
+      if (kind == "stall") {
+        w.kind = BankFaultKind::kStall;
+      } else if (kind == "nack") {
+        w.kind = BankFaultKind::kNack;
+      } else {
+        return wfr.Fail("kind must be \"stall\" or \"nack\"") && false;
+      }
+      w.mc = static_cast<sim::McId>(mc);
+      w.bank = static_cast<int>(bank);
+      sched.bank_faults.push_back(w);
+    }
+  }
+  if (const JsonValue* arr = fr.Array("mc_pressure")) {
+    for (std::size_t i = 0; i < arr->arr.size(); ++i) {
+      const JsonValue& e = arr->arr[i];
+      std::string where = "mc_pressure[" + std::to_string(i) + "]";
+      if (e.type != JsonValue::Type::kObject) return fr.Fail(where + " must be an object");
+      FieldReader wfr(e, where, err);
+      McPressureWindow w;
+      std::int64_t mc = 0;
+      bool ok = wfr.Int("mc", &mc) && wfr.Uint("start", &w.start) &&
+                wfr.Uint("end", &w.end) && wfr.Uint("extra_delay", &w.extra_delay) &&
+                wfr.Finish() && RequireWindow(wfr, w.start, w.end);
+      if (!ok) return fr.Fail("invalid mc pressure window");
+      w.mc = static_cast<sim::McId>(mc);
+      sched.mc_pressure.push_back(w);
+    }
+  }
+  if (const JsonValue* res = fr.Object("resilience")) {
+    FieldReader rfr(*res, "resilience", err);
+    std::int64_t retries = sched.resilience.max_retries;
+    bool ok = rfr.Int("max_retries", &retries) &&
+              rfr.Double("backoff_mult", &sched.resilience.backoff_mult) &&
+              rfr.Uint("retransmit_delay", &sched.resilience.retransmit_delay) &&
+              rfr.Uint("nack_backoff", &sched.resilience.nack_backoff) &&
+              rfr.Finish();
+    if (!ok) return fr.Fail("invalid resilience params");
+    if (retries < 0) return rfr.Fail("max_retries must be non-negative") && false;
+    if (sched.resilience.backoff_mult < 1.0) {
+      return rfr.Fail("backoff_mult must be >= 1") && false;
+    }
+    // Zero would re-attempt in the same cycle forever (the injector decides
+    // drop/NACK by window, not by attempt count).
+    if (sched.resilience.retransmit_delay == 0) {
+      return rfr.Fail("retransmit_delay must be positive") && false;
+    }
+    if (sched.resilience.nack_backoff == 0) {
+      return rfr.Fail("nack_backoff must be positive") && false;
+    }
+    sched.resilience.max_retries = static_cast<int>(retries);
+  }
+  if (!fr.Finish()) return false;
+  *out = std::move(sched);
+  return true;
+}
+
+bool LoadSchedule(const std::string& arg, FaultSchedule* out, std::string* err) {
+  std::string text = arg;
+  // Anything that doesn't look like inline JSON is a file path.
+  std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos || text[first] != '{') {
+    std::ifstream in(arg);
+    if (!in) {
+      if (err != nullptr) *err = "fault schedule: cannot open file '" + arg + "'";
+      return false;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    text = os.str();
+  }
+  return ParseSchedule(text, out, err);
+}
+
+FaultSchedule MakeStorm(const StormSpec& spec) {
+  FaultSchedule s;
+  s.seed = spec.seed;
+  s.resilience.max_retries = spec.max_retries;
+  double intensity = std::clamp(spec.intensity, 0.0, 1.0);
+  if (intensity == 0.0 || spec.horizon == 0) return s;
+  // Derive everything from one seeded stream so the spec is the only input.
+  sim::Rng rng(spec.seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  auto window = [&](sim::Cycle min_len) {
+    sim::Cycle len = min_len + rng.NextBelow(spec.horizon / 4 + 1);
+    sim::Cycle start = rng.NextBelow(spec.horizon);
+    return std::pair<sim::Cycle, sim::Cycle>{start,
+                                             std::min(start + len, spec.horizon)};
+  };
+  int n_links = static_cast<int>(std::ceil(intensity * spec.num_links * 0.25));
+  for (int i = 0; i < n_links && spec.num_links > 0; ++i) {
+    LinkFaultWindow w;
+    w.link = static_cast<sim::LinkId>(rng.NextBelow(static_cast<std::uint64_t>(spec.num_links)));
+    auto [start, end] = window(64);
+    w.start = start;
+    w.end = end;
+    w.extra_latency = static_cast<sim::Cycle>(1 + rng.NextBelow(static_cast<std::uint64_t>(1 + intensity * 16)));
+    // Cap drop probability below 1 so a dropped packet always eventually
+    // clears its window (conservation never depends on the window ending).
+    w.drop_prob = std::min(0.9, intensity * rng.NextDouble());
+    s.link_faults.push_back(w);
+  }
+  int total_banks = spec.num_mcs * spec.banks_per_mc;
+  int n_banks = static_cast<int>(std::ceil(intensity * total_banks * 0.125));
+  for (int i = 0; i < n_banks && total_banks > 0; ++i) {
+    BankFaultWindow w;
+    std::uint64_t pick = rng.NextBelow(static_cast<std::uint64_t>(total_banks));
+    w.mc = static_cast<sim::McId>(pick / static_cast<std::uint64_t>(spec.banks_per_mc));
+    w.bank = static_cast<int>(pick % static_cast<std::uint64_t>(spec.banks_per_mc));
+    auto [start, end] = window(128);
+    w.start = start;
+    w.end = end;
+    w.kind = rng.NextBool(0.5) ? BankFaultKind::kStall : BankFaultKind::kNack;
+    s.bank_faults.push_back(w);
+  }
+  int n_press = static_cast<int>(std::ceil(intensity * spec.num_mcs * 0.5));
+  for (int i = 0; i < n_press && spec.num_mcs > 0; ++i) {
+    McPressureWindow w;
+    w.mc = static_cast<sim::McId>(rng.NextBelow(static_cast<std::uint64_t>(spec.num_mcs)));
+    auto [start, end] = window(64);
+    w.start = start;
+    w.end = end;
+    w.extra_delay = static_cast<sim::Cycle>(1 + rng.NextBelow(static_cast<std::uint64_t>(1 + intensity * 32)));
+    s.mc_pressure.push_back(w);
+  }
+  return s;
+}
+
+}  // namespace ndc::fault

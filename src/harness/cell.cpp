@@ -81,6 +81,11 @@ std::string CellSpec::CanonicalString() const {
   AppendField(out, "dto", cfg.default_timeout);
   AppendField(out, "cfgrr", cfg.allow_reroute ? 1 : 0);
   AppendField(out, "addsub", cfg.restrict_ops_to_addsub ? 1 : 0);
+  // Appended only when faulted: every fault-free cell (including all cached
+  // entries written before faults existed) keeps its historical key.
+  if (!faults.Empty()) {
+    out += "faults{" + faults.CanonicalString() + "};";
+  }
   return out;
 }
 
@@ -216,6 +221,7 @@ metrics::SchemeResult RunSpec(metrics::Experiment& exp, const CellSpec& spec) {
 
 CellResult RunCell(const CellSpec& spec) {
   metrics::Experiment exp(spec.workload, spec.scale, spec.cfg, spec.seed);
+  if (!spec.faults.Empty()) exp.set_faults(&spec.faults);
   metrics::SchemeResult r = RunSpec(exp, spec);
 
   CellResult out;
@@ -255,6 +261,7 @@ json::Value RunCellObsSummary(const CellSpec& spec, std::uint64_t sample_period)
   obs::Observability ob(oo);
   metrics::Experiment exp(spec.workload, spec.scale, spec.cfg, spec.seed);
   exp.set_obs(&ob);
+  if (!spec.faults.Empty()) exp.set_faults(&spec.faults);
   metrics::SchemeResult r = RunSpec(exp, spec);
 
   v.obj["makespan"] = json::Value::Int(r.run.makespan);

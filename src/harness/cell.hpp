@@ -11,6 +11,7 @@
 #include <string>
 
 #include "arch/config.hpp"
+#include "fault/schedule.hpp"
 #include "harness/json.hpp"
 #include "metrics/experiment.hpp"
 #include "workloads/workloads.hpp"
@@ -38,6 +39,10 @@ struct CellSpec {
   std::uint8_t control_register = arch::kAllLocs;
   /// Fully resolved configuration (any figure variant already applied).
   arch::ArchConfig cfg;
+  /// Fault schedule the measured run executes under (default: empty =
+  /// fault-free). Folded into the cache key only when non-empty, so every
+  /// pre-fault cache entry keeps its key.
+  fault::FaultSchedule faults;
   /// Display label for configuration variants ("" = Table-1 defaults).
   /// Deliberately NOT part of the cache key: two figures probing the same
   /// resolved configuration under different labels share one cache entry.

@@ -35,6 +35,11 @@ struct FigureOptions {
   /// are re-simulated with tracing attached (never cached) and one JSON file
   /// per cell is written: <figure>_<idx>_<workload>_<scheme>.json.
   std::string export_obs;
+  /// Fault schedule stamped onto every grid cell (default: empty =
+  /// fault-free; record figures always run fault-free). Faulted cells carry
+  /// the schedule in their cache key, so they never collide with — or
+  /// invalidate — fault-free entries.
+  fault::FaultSchedule faults;
 };
 
 struct FigureInfo {

@@ -14,6 +14,7 @@ MemCtrl::MemCtrl(sim::McId id, const AddressMap& amap, const DramParams& dram_pa
   bank_in_flight_.assign(banks_.size(), false);
   bank_queues_.resize(banks_.size());
   in_service_.resize(banks_.size());
+  bank_wake_until_.assign(banks_.size(), 0);
 }
 
 void MemCtrl::RegisterMetrics(obs::Registry& reg) {
@@ -42,7 +43,7 @@ void MemCtrl::EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done,
   }
   ++pending_read_addrs_[addr];
   if (on_enqueue_) on_enqueue_(tag, addr, eq_.now());
-  Enqueue(std::move(r));
+  Admit(std::move(r));
 }
 
 void MemCtrl::EnqueueWrite(sim::Addr addr) {
@@ -55,6 +56,24 @@ void MemCtrl::EnqueueWrite(sim::Addr addr) {
   r.enqueued_at = eq_.now();
   writes_.Add();
   if (on_enqueue_) on_enqueue_(kWriteSentinelTag, addr, eq_.now());
+  Admit(std::move(r));
+}
+
+void MemCtrl::Admit(Request r) {
+  // Queue-pressure faults delay the request's entry into the transaction
+  // queue; the request is already visible upstream (pending-read index and
+  // enqueue hooks fired at arrival), so NDC meeting checks are unaffected.
+  if (pressure_) {
+    sim::Cycle extra = pressure_(eq_.now());
+    if (extra > 0) {
+      pressure_events_.Add();
+      pressure_delay_cycles_.Add(extra);
+      eq_.ScheduleAfter(extra, [this, r = std::move(r)]() mutable {
+        Enqueue(std::move(r));
+      });
+      return;
+    }
+  }
   Enqueue(std::move(r));
 }
 
@@ -78,6 +97,23 @@ void MemCtrl::TrySchedule() {
     if (bank_in_flight_[b]) continue;
     std::deque<Request>& q = bank_queues_[b];
     if (q.empty()) continue;
+    BankFault::Effect effect = BankFault::Effect::kNone;
+    sim::Cycle nack_backoff = 0;
+    if (bank_fault_) {
+      BankFault fault = bank_fault_(static_cast<int>(b), eq_.now());
+      effect = fault.effect;
+      if (effect == BankFault::Effect::kStall) {
+        // The bank issues nothing until the stall window ends; schedule one
+        // wake at the window end (not one per attempt) to resume it.
+        bank_stall_events_.Add();
+        if (bank_wake_until_[b] < fault.stall_until) {
+          bank_wake_until_[b] = fault.stall_until;
+          eq_.ScheduleAt(fault.stall_until, [this] { TrySchedule(); });
+        }
+        continue;
+      }
+      nack_backoff = fault.nack_backoff;
+    }
     std::size_t pick = 0;  // oldest overall is the fallback
     for (std::size_t i = 0; i < q.size(); ++i) {
       if (banks_[b].IsRowOpen(q[i].row)) {
@@ -88,6 +124,20 @@ void MemCtrl::TrySchedule() {
     Request req = std::move(q[pick]);
     q.erase(q.begin() + static_cast<std::ptrdiff_t>(pick));
     --queued_;
+    if (effect == BankFault::Effect::kNack) {
+      // The bank rejects the command; the request re-enters the queue after
+      // the backoff with its original arrival time (its queue wait includes
+      // the NACK detour) and without re-firing hooks or the pending-read
+      // index, which both already saw it arrive. Nothing is lost: every
+      // NACK schedules exactly one retry.
+      assert(nack_backoff > 0 && "a NACKed request needs a positive backoff");
+      nacks_.Add();
+      eq_.ScheduleAfter(nack_backoff, [this, req = std::move(req)]() mutable {
+        nack_retries_.Add();
+        Enqueue(std::move(req));
+      });
+      continue;
+    }
     IssueTo(static_cast<int>(b), std::move(req));
   }
 }
@@ -125,6 +175,7 @@ void MemCtrl::Complete(int bank_idx) {
         tracer_->Stamp(req.obs_token, obs::Stage::kDramReady, eq_.now());
       }
     }
+    ++reads_done_;
     if (on_ready_) on_ready_(req.tag, req.addr, eq_.now());
     if (req.done) req.done(req.tag, eq_.now());
   } else {
@@ -140,6 +191,11 @@ void MemCtrl::MaterializeStats() const {
   row_hits_.MaterializeInto(stats_, "mc.row_hits");
   row_misses_.MaterializeInto(stats_, "mc.row_misses");
   queue_wait_cycles_.MaterializeInto(stats_, "mc.queue_wait_cycles");
+  nacks_.MaterializeInto(stats_, "mc.nacks");
+  nack_retries_.MaterializeInto(stats_, "mc.nack_retries");
+  bank_stall_events_.MaterializeInto(stats_, "mc.bank_stall_events");
+  pressure_events_.MaterializeInto(stats_, "mc.pressure_events");
+  pressure_delay_cycles_.MaterializeInto(stats_, "mc.pressure_delay_cycles");
 }
 
 void MemCtrl::Reset() {
@@ -149,11 +205,18 @@ void MemCtrl::Reset() {
   for (Request& r : in_service_) r = Request{};
   queued_ = 0;
   pending_read_addrs_.clear();
+  std::fill(bank_wake_until_.begin(), bank_wake_until_.end(), 0);
   reads_.Reset();
   writes_.Reset();
   row_hits_.Reset();
   row_misses_.Reset();
   queue_wait_cycles_.Reset();
+  nacks_.Reset();
+  nack_retries_.Reset();
+  bank_stall_events_.Reset();
+  pressure_events_.Reset();
+  pressure_delay_cycles_.Reset();
+  reads_done_ = 0;
   stats_.Clear();
 }
 

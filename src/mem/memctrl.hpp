@@ -17,6 +17,20 @@
 
 namespace ndc::mem {
 
+/// What a fault hook tells the controller about a bank it is about to
+/// schedule onto. Produced by src/fault's injector; the controller itself is
+/// fault-agnostic and only follows the instruction.
+struct BankFault {
+  enum class Effect : std::uint8_t {
+    kNone = 0,
+    kStall,  ///< issue nothing to this bank; re-check at `stall_until`
+    kNack,   ///< reject the FR-FCFS pick; re-enqueue it after `nack_backoff`
+  };
+  Effect effect = Effect::kNone;
+  sim::Cycle stall_until = 0;    ///< wake cycle when effect == kStall
+  sim::Cycle nack_backoff = 0;   ///< re-enqueue delay when effect == kNack (> 0)
+};
+
 /// A memory controller with an FR-FCFS (first-ready, first-come-first-serve)
 /// transaction queue over a set of DRAM banks (Table 1: FR-FCFS scheduling,
 /// 4 KB interleaving).
@@ -36,6 +50,10 @@ class MemCtrl {
   using DoneFn = std::function<void(std::uint64_t, sim::Cycle)>;
   /// Observation hooks for the NDC engine / recorder.
   using QueueHook = std::function<void(std::uint64_t tag, sim::Addr, sim::Cycle)>;
+  /// Fault hooks: bank state when scheduling, extra admission delay under
+  /// queue pressure. The controller id is bound by the installer.
+  using BankFaultFn = std::function<BankFault(int bank, sim::Cycle)>;
+  using PressureFn = std::function<sim::Cycle(sim::Cycle)>;
 
   /// Tag carried by every write request. Writes have no tag of their own
   /// (fire-and-forget), and must never alias tag 0, which identifies
@@ -76,6 +94,20 @@ class MemCtrl {
   /// Hook invoked when a read's data is ready at the controller.
   void set_ready_hook(QueueHook h) { on_ready_ = std::move(h); }
 
+  /// Installs fault hooks. Never installed for fault-free runs: the
+  /// hook-less scheduling/admission paths are byte-identical to the
+  /// pre-fault controller.
+  void set_bank_fault_hook(BankFaultFn h) { bank_fault_ = std::move(h); }
+  void set_pressure_hook(PressureFn h) { pressure_ = std::move(h); }
+
+  /// Conservation accessors (mc_reads == mc_reads_done at end of run;
+  /// mc_nacks == mc_nack_retries). `reads_done_count` is deliberately never
+  /// a StatSet key: it is always touched, and goldens must not change.
+  std::uint64_t reads_count() const { return reads_.v; }
+  std::uint64_t reads_done_count() const { return reads_done_; }
+  std::uint64_t nacks_count() const { return nacks_.v; }
+  std::uint64_t nack_retries_count() const { return nack_retries_.v; }
+
   /// Traced reads stamp FR-FCFS issue and DRAM-ready on `tracer` (may be null).
   void set_request_tracer(obs::RequestTracer* tracer) { tracer_ = tracer; }
 
@@ -111,6 +143,7 @@ class MemCtrl {
     std::uint64_t obs_token = 0;
   };
 
+  void Admit(Request r);
   void Enqueue(Request r);
   void TrySchedule();
   void IssueTo(int bank_idx, Request req);
@@ -130,11 +163,21 @@ class MemCtrl {
   std::unordered_map<sim::Addr, int> pending_read_addrs_;
   QueueHook on_enqueue_;
   QueueHook on_ready_;
+  BankFaultFn bank_fault_;
+  PressureFn pressure_;
+  /// Latest cycle a stalled bank already has a wake scheduled for (avoids
+  /// piling up one wake event per scheduling attempt during a stall).
+  std::vector<sim::Cycle> bank_wake_until_;
   obs::RequestTracer* tracer_ = nullptr;
   obs::Counter* m_reads_ = nullptr;
   obs::Counter* m_row_hits_ = nullptr;
   obs::Histogram* m_queue_wait_ = nullptr;
   sim::RawCounter reads_, writes_, row_hits_, row_misses_, queue_wait_cycles_;
+  // Fault counters: touched only when a fault hook fires, so their StatSet
+  // keys never appear in fault-free runs (goldens frozen).
+  sim::RawCounter nacks_, nack_retries_, bank_stall_events_, pressure_events_,
+      pressure_delay_cycles_;
+  std::uint64_t reads_done_ = 0;  ///< accessor-only; never a StatSet key
   mutable sim::StatSet stats_;
 };
 

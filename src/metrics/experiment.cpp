@@ -47,11 +47,24 @@ const std::vector<arch::Trace>& Experiment::BaselineTraces() {
 }
 
 runtime::RunResult Experiment::RunTraces(const std::vector<arch::Trace>& traces,
-                                         runtime::MachineOptions opts) {
+                                         runtime::MachineOptions opts, bool with_faults) {
   obs::ScopedPhase phase(obs::Phase::kSimulate);
+  // A fresh injector per measured run: its RNG restarts from the schedule
+  // seed, so the same (workload, schedule) pair is identically faulted every
+  // time it is simulated.
+  std::unique_ptr<fault::FaultInjector> inj;
+  if (with_faults && faults_ != nullptr && !faults_->Empty()) {
+    inj = std::make_unique<fault::FaultInjector>(*faults_);
+    opts.faults = inj.get();
+  }
   runtime::Machine m(cfg_, opts);
   m.LoadProgram(traces);
   runtime::RunResult r = m.Run();
+  if (inj != nullptr) {
+    last_conservation_ = m.GatherConservation();
+    last_injections_ = inj->counts();
+    have_fault_report_ = true;
+  }
   if constexpr (obs::kObsEnabled) obs::GlobalPhases().AddSimEvents(r.events);
   return r;
 }
@@ -81,16 +94,17 @@ SchemeResult Experiment::Run(Scheme scheme) {
 
   switch (scheme) {
     case Scheme::kBaseline:
-      if (obs_ != nullptr) {
-        // The cached baseline carries no observation data; re-simulate so
-        // the requested trace/audit reflects this very scheme.
+      if (obs_ != nullptr || faults_ != nullptr) {
+        // The cached baseline carries no observation or fault data;
+        // re-simulate so the requested trace/audit/faults reflect this very
+        // scheme.
         runtime::MachineOptions bopts;
         bopts.obs = obs_;
-        out.run = RunTraces(BaselineTraces(), bopts);
+        out.run = RunTraces(BaselineTraces(), bopts, /*with_faults=*/true);
       } else {
         out.run = base;
       }
-      out.improvement_pct = 0.0;
+      out.improvement_pct = ImprovementPct(base.makespan, out.run.makespan);
       return out;
     case Scheme::kAlgorithm1: {
       compiler::CompileOptions opt;
@@ -138,7 +152,7 @@ SchemeResult Experiment::Run(Scheme scheme) {
   runtime::MachineOptions opts;
   opts.policy = policy.get();
   opts.obs = obs_;
-  out.run = RunTraces(BaselineTraces(), opts);
+  out.run = RunTraces(BaselineTraces(), opts, /*with_faults=*/true);
   out.improvement_pct = ImprovementPct(base.makespan, out.run.makespan);
   return out;
 }
@@ -164,9 +178,19 @@ SchemeResult Experiment::RunCompiled(compiler::CompileOptions opt) {
   obs::ScopedPhase phase(obs::Phase::kSimulate);
   runtime::MachineOptions mopts;
   mopts.obs = obs_;
+  std::unique_ptr<fault::FaultInjector> inj;
+  if (faults_ != nullptr && !faults_->Empty()) {
+    inj = std::make_unique<fault::FaultInjector>(*faults_);
+    mopts.faults = inj.get();
+  }
   runtime::Machine m(cfg, mopts);
   m.LoadProgram(traces);
   out.run = m.Run();
+  if (inj != nullptr) {
+    last_conservation_ = m.GatherConservation();
+    last_injections_ = inj->counts();
+    have_fault_report_ = true;
+  }
   if constexpr (obs::kObsEnabled) obs::GlobalPhases().AddSimEvents(out.run.events);
   out.improvement_pct = ImprovementPct(base.makespan, out.run.makespan);
   return out;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "compiler/pipeline.hpp"
+#include "fault/fault.hpp"
 #include "ndc/machine.hpp"
 #include "ndc/policy.hpp"
 #include "obs/obs.hpp"
@@ -69,9 +70,23 @@ class Experiment {
   /// baseline itself can be observed). Null detaches.
   void set_obs(obs::Observability* o) { obs_ = o; }
 
+  /// Attaches a fault schedule to subsequent Run()/RunCompiled() calls.
+  /// Mirrors set_obs: only the *measured* scheme run is faulted (the cached
+  /// baseline/observe profile runs stay pristine, so improvement numbers
+  /// compare a faulted run against the healthy baseline — the degradation
+  /// curve's y-axis). Each measured run gets a fresh injector built from the
+  /// schedule, so repeated runs are identically faulted. Null (or an empty
+  /// schedule) detaches.
+  void set_faults(const fault::FaultSchedule* s) { faults_ = s; }
+
+  /// Fault report for the most recent faulted measured run.
+  bool have_fault_report() const { return have_fault_report_; }
+  const fault::ConservationInputs& last_conservation() const { return last_conservation_; }
+  const fault::InjectionCounts& last_injections() const { return last_injections_; }
+
  private:
   runtime::RunResult RunTraces(const std::vector<arch::Trace>& traces,
-                               runtime::MachineOptions opts);
+                               runtime::MachineOptions opts, bool with_faults = false);
 
   std::string workload_;
   workloads::Scale scale_;
@@ -84,6 +99,10 @@ class Experiment {
   bool have_observe_ = false;
   runtime::RunResult observe_;
   obs::Observability* obs_ = nullptr;
+  const fault::FaultSchedule* faults_ = nullptr;
+  bool have_fault_report_ = false;
+  fault::ConservationInputs last_conservation_;
+  fault::InjectionCounts last_injections_;
 };
 
 /// Percentage improvement of `t` over baseline `base` (positive = faster,

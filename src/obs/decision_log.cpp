@@ -24,6 +24,7 @@ const char* OutcomeName(Outcome o) {
     case Outcome::kFallbackPartnerDone: return "fallback_partner_done";
     case Outcome::kFallbackServiceTableFull: return "fallback_service_table_full";
     case Outcome::kFallbackNeverMet: return "fallback_never_met";
+    case Outcome::kDegradedToHost: return "degraded_to_host";
     case Outcome::kUnresolved: return "unresolved";
   }
   return "?";
@@ -61,6 +62,15 @@ void DecisionLog::Resolve(std::uint64_t uid, Outcome outcome, std::int8_t met_lo
   e.met_loc = met_loc;
   e.resolved_at = now;
   ++outcome_counts_[static_cast<int>(outcome)];
+}
+
+void DecisionLog::NoteRetry(std::uint64_t uid) {
+  auto it = by_uid_.find(uid);
+  if (it == by_uid_.end()) return;
+  DecisionEntry& e = entries_[it->second];
+  if (e.outcome != Outcome::kUnresolved) return;
+  ++e.retries;
+  ++total_retries_;
 }
 
 void DecisionLog::EndRun(sim::Cycle now) {
@@ -103,15 +113,21 @@ std::string DecisionLog::ToJsonl() const {
   std::string out;
   char line[256];
   for (const DecisionEntry& e : entries_) {
+    // `retries` is emitted only when consumed (faulted runs): fault-free
+    // decision JSONL stays byte-identical to the pre-fault format.
+    char retries[32] = "";
+    if (e.retries != 0) {
+      std::snprintf(retries, sizeof(retries), ",\"retries\":%u", e.retries);
+    }
     std::snprintf(line, sizeof(line),
                   "{\"uid\":%llu,\"core\":%d,\"site\":%u,\"kind\":\"%s\","
                   "\"planned_loc\":%d,\"decided_at\":%llu,\"outcome\":\"%s\","
-                  "\"met_loc\":%d,\"resolved_at\":%llu}\n",
+                  "\"met_loc\":%d,\"resolved_at\":%llu%s}\n",
                   static_cast<unsigned long long>(e.uid), static_cast<int>(e.core),
                   e.site, DecisionKindName(e.kind), static_cast<int>(e.planned_loc),
                   static_cast<unsigned long long>(e.decided_at), OutcomeName(e.outcome),
                   static_cast<int>(e.met_loc),
-                  static_cast<unsigned long long>(e.resolved_at));
+                  static_cast<unsigned long long>(e.resolved_at), retries);
     out += line;
   }
   return out;
