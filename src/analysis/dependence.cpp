@@ -11,15 +11,16 @@ struct Ref {
   int stmt = 0;
   const ir::Operand* op = nullptr;
   bool is_write = false;
+  RefSlot slot = RefSlot::kLhs;
 };
 
 std::vector<Ref> CollectRefs(const ir::LoopNest& nest) {
   std::vector<Ref> refs;
   for (int s = 0; s < static_cast<int>(nest.body.size()); ++s) {
     const ir::Stmt& st = nest.body[static_cast<std::size_t>(s)];
-    if (st.lhs.IsMemory()) refs.push_back({s, &st.lhs, true});
-    if (st.rhs0.IsMemory()) refs.push_back({s, &st.rhs0, false});
-    if (st.rhs1.IsMemory()) refs.push_back({s, &st.rhs1, false});
+    if (st.lhs.IsMemory()) refs.push_back({s, &st.lhs, true, RefSlot::kLhs});
+    if (st.rhs0.IsMemory()) refs.push_back({s, &st.rhs0, false, RefSlot::kRhs0});
+    if (st.rhs1.IsMemory()) refs.push_back({s, &st.rhs1, false, RefSlot::kRhs1});
   }
   return refs;
 }
@@ -156,6 +157,12 @@ DependenceSet AnalyzeDependences(const ir::Program& prog, const ir::LoopNest& ne
   DependenceSet out;
   int depth = nest.depth();
   std::vector<Ref> refs = CollectRefs(nest);
+  auto note_unknown = [&out](const Ref& src, const Ref& dst, bool indirect) {
+    out.has_unknown = true;
+    out.unknown_arrays.push_back(RefArray(src));
+    out.unknown_pairs.push_back(
+        {src.stmt, dst.stmt, RefArray(src), src.slot, dst.slot, indirect});
+  };
   for (std::size_t i = 0; i < refs.size(); ++i) {
     for (std::size_t j = 0; j < refs.size(); ++j) {
       const Ref& src = refs[i];
@@ -171,16 +178,14 @@ DependenceSet AnalyzeDependences(const ir::Program& prog, const ir::LoopNest& ne
             out.deps.push_back({src.stmt, dst.stmt, RefArray(src), true, k, false});
           }
         } else if (src.op->kind == ir::Operand::Kind::kIndirect) {
-          out.has_unknown = true;
-          out.unknown_arrays.push_back(RefArray(src));
+          note_unknown(src, dst, /*indirect=*/true);
         }
         continue;
       }
       // Indirect references: conservative unknown dependence.
       if (src.op->kind == ir::Operand::Kind::kIndirect ||
           dst.op->kind == ir::Operand::Kind::kIndirect) {
-        out.has_unknown = true;
-        out.unknown_arrays.push_back(RefArray(src));
+        note_unknown(src, dst, /*indirect=*/true);
         continue;
       }
       const ir::AffineAccess& fa = src.op->access;
@@ -192,12 +197,16 @@ DependenceSet AnalyzeDependences(const ir::Program& prog, const ir::LoopNest& ne
         ir::IntVec d;
         if (!SolveUniformDistance(fa.F, AvgTrips(nest), rhs, &d)) {
           // No bounded solution: independent only if the subscripts can
-          // never coincide; a failed unique solve on an actually-solvable
-          // system must stay conservative.
-          ir::IntVec any;
-          if (fa.F.SolveInteger(rhs, &any)) {
-            out.has_unknown = true;
-            out.unknown_arrays.push_back(RefArray(src));
+          // never coincide. For a square full-rank F the solver already ran
+          // the exact integer solve, so failure proves independence. For a
+          // rank-deficient / flattened F the failure may mean "ambiguous" or
+          // "unbounded" — SolveInteger zeroes free variables and so misses
+          // solutions (e.g. F=(24,1), rhs=1 has solution (0,1) but the
+          // pivot 24 does not divide 1); the per-row gcd condition is the
+          // sound existence test there.
+          bool square_exact = fa.F.rows() == fa.F.cols() && fa.F.Rank() == fa.F.cols();
+          if (!square_exact && GcdMayDepend(fa, fb)) {
+            note_unknown(src, dst, /*indirect=*/false);
           }
           continue;
         }
@@ -212,8 +221,7 @@ DependenceSet AnalyzeDependences(const ir::Program& prog, const ir::LoopNest& ne
         out.deps.push_back({src.stmt, dst.stmt, RefArray(src), true, d, src.is_write});
       } else {
         if (GcdMayDepend(fa, fb)) {
-          out.has_unknown = true;
-          out.unknown_arrays.push_back(RefArray(src));
+          note_unknown(src, dst, /*indirect=*/false);
         }
       }
     }

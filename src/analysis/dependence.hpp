@@ -18,12 +18,30 @@ struct Dependence {
   bool is_flow = false;  ///< write -> read (true) vs anti/output
 };
 
+/// Which operand slot of a statement a reference came from.
+enum class RefSlot : int { kLhs = 0, kRhs0 = 1, kRhs1 = 2 };
+
+/// One reference pair the analysis could not resolve: either an indirect
+/// reference is involved (never refutable statically) or the affine pair
+/// escaped both the uniform solve and the GCD-independence test. Recorded so
+/// downstream proof engines (src/analysis/parallelism.hpp) can retry with a
+/// stronger test (array-section disjointness) and discharge the unknown.
+struct UnknownRefPair {
+  int from_stmt = 0;
+  int to_stmt = 0;
+  int array = -1;
+  RefSlot from_slot = RefSlot::kLhs;
+  RefSlot to_slot = RefSlot::kLhs;
+  bool indirect = false;  ///< involves an indirect reference
+};
+
 /// All dependences of a nest, plus a conservative flag when non-affine or
 /// shape-mismatched references force us to assume unknown dependences.
 struct DependenceSet {
   std::vector<Dependence> deps;
   bool has_unknown = false;          ///< any unknown dependence (blocks transforms)
   std::vector<int> unknown_arrays;   ///< arrays with unanalyzable dependences
+  std::vector<UnknownRefPair> unknown_pairs;  ///< the pairs behind unknown_arrays
 
   /// The dependence matrix D (Section 5.2.1): columns are the known,
   /// lexicographically positive distance vectors.

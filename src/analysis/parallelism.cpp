@@ -1,0 +1,376 @@
+#include "analysis/parallelism.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+namespace ndc::analysis {
+
+const char* LevelKindName(LevelKind k) {
+  switch (k) {
+    case LevelKind::kDoall: return "DOALL";
+    case LevelKind::kDoacross: return "DOACROSS";
+    case LevelKind::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+namespace {
+
+using ir::Int;
+
+/// Conservative per-level iterator ranges [lo_min, hi_max], outermost-in.
+/// Bounds may depend linearly on one outer iterator (the validator rejects
+/// anything else); a dependent bound is widened over the outer range.
+std::vector<std::pair<Int, Int>> IterRanges(const ir::LoopNest& nest) {
+  std::vector<std::pair<Int, Int>> r;
+  r.reserve(static_cast<std::size_t>(nest.depth()));
+  for (int k = 0; k < nest.depth(); ++k) {
+    const ir::Loop& l = nest.loops[static_cast<std::size_t>(k)];
+    Int lo = l.lo, hi = l.hi;
+    if (l.lo_dep >= 0 && l.lo_dep < k) {
+      auto [olo, ohi] = r[static_cast<std::size_t>(l.lo_dep)];
+      lo += l.lo_coef >= 0 ? l.lo_coef * olo : l.lo_coef * ohi;
+    }
+    if (l.hi_dep >= 0 && l.hi_dep < k) {
+      auto [olo, ohi] = r[static_cast<std::size_t>(l.hi_dep)];
+      hi += l.hi_coef >= 0 ? l.hi_coef * ohi : l.hi_coef * olo;
+    }
+    if (hi < lo) hi = lo;
+    r.push_back({lo, hi});
+  }
+  return r;
+}
+
+/// Row-major linearized footprint of an affine access: element index as an
+/// affine function c·I + c0 of the iteration vector.
+struct LinFootprint {
+  ir::IntVec c;
+  Int c0 = 0;
+};
+
+bool Linearize(const ir::Array& arr, const ir::AffineAccess& acc, int depth,
+               LinFootprint* out) {
+  int rank = static_cast<int>(arr.dims.size());
+  if (acc.F.rows() != rank || acc.F.cols() != depth ||
+      static_cast<int>(acc.f.size()) != rank) {
+    return false;  // malformed shape — the IR validator owns that diagnosis
+  }
+  std::vector<Int> stride(static_cast<std::size_t>(rank), 1);
+  for (int d = rank - 2; d >= 0; --d) {
+    stride[static_cast<std::size_t>(d)] =
+        stride[static_cast<std::size_t>(d + 1)] * arr.dims[static_cast<std::size_t>(d + 1)];
+  }
+  out->c.assign(static_cast<std::size_t>(depth), 0);
+  out->c0 = 0;
+  for (int d = 0; d < rank; ++d) {
+    for (int k = 0; k < depth; ++k) {
+      out->c[static_cast<std::size_t>(k)] += stride[static_cast<std::size_t>(d)] * acc.F.at(d, k);
+    }
+    out->c0 += stride[static_cast<std::size_t>(d)] * acc.f[static_cast<std::size_t>(d)];
+  }
+  return true;
+}
+
+std::pair<Int, Int> FootprintSpan(const LinFootprint& f,
+                                  const std::vector<std::pair<Int, Int>>& ranges) {
+  Int mn = f.c0, mx = f.c0;
+  for (std::size_t k = 0; k < f.c.size(); ++k) {
+    Int c = f.c[k];
+    if (c >= 0) {
+      mn += c * ranges[k].first;
+      mx += c * ranges[k].second;
+    } else {
+      mn += c * ranges[k].second;
+      mx += c * ranges[k].first;
+    }
+  }
+  return {mn, mx};
+}
+
+int OperandArray(const ir::Operand& op) {
+  return op.kind == ir::Operand::Kind::kIndirect ? op.target_array : op.access.array;
+}
+
+const ir::Operand* SlotOperand(const ir::Stmt& st, RefSlot slot) {
+  switch (slot) {
+    case RefSlot::kLhs: return &st.lhs;
+    case RefSlot::kRhs0: return &st.rhs0;
+    case RefSlot::kRhs1: return &st.rhs1;
+  }
+  return nullptr;
+}
+
+bool SameAccess(const ir::AffineAccess& a, const ir::AffineAccess& b) {
+  return a.array == b.array && a.F == b.F && a.f == b.f;
+}
+
+bool IsCommutative(arch::Op op) {
+  switch (op) {
+    case arch::Op::kAdd:
+    case arch::Op::kMul:
+    case arch::Op::kAnd:
+    case arch::Op::kOr:
+    case arch::Op::kXor: return true;
+    case arch::Op::kSub:
+    case arch::Op::kDiv: return false;
+  }
+  return false;
+}
+
+/// True when `op` touches array `array` in any role (direct access,
+/// indirect target, or index array of an indirection).
+bool TouchesArray(const ir::Operand& op, int array) {
+  if (!op.IsMemory()) return false;
+  if (op.access.array == array) return true;
+  return op.kind == ir::Operand::Kind::kIndirect && op.target_array == array;
+}
+
+bool StmtTouchesArray(const ir::Stmt& st, int array) {
+  return TouchesArray(st.lhs, array) || TouchesArray(st.rhs0, array) ||
+         TouchesArray(st.rhs1, array);
+}
+
+void SortUnique(std::vector<int>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+std::string DistanceString(const ir::IntVec& d) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < d.size(); ++i) os << (i ? "," : "") << d[i];
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+bool SectionsDisjoint(const ir::Program& prog, const ir::LoopNest& nest,
+                      const ir::AffineAccess& a, const ir::AffineAccess& b) {
+  if (a.array != b.array) return true;  // different arrays never alias here
+  if (a.array < 0 || a.array >= static_cast<int>(prog.arrays.size())) return false;
+  const ir::Array& arr = prog.array(a.array);
+  int depth = nest.depth();
+  LinFootprint fa, fb;
+  if (!Linearize(arr, a, depth, &fa) || !Linearize(arr, b, depth, &fb)) return false;
+  std::vector<std::pair<Int, Int>> ranges = IterRanges(nest);
+
+  // Interval test: the linearized footprints never meet.
+  auto [min_a, max_a] = FootprintSpan(fa, ranges);
+  auto [min_b, max_b] = FootprintSpan(fb, ranges);
+  if (max_a < min_b || max_b < min_a) return true;
+
+  // Stride-residue test: both footprints live in c0 + g·Z for the combined
+  // coefficient gcd g; different residues mod g can never collide.
+  Int g = 0;
+  for (Int c : fa.c) g = std::gcd(g, std::abs(c));
+  for (Int c : fb.c) g = std::gcd(g, std::abs(c));
+  if (g > 1 && (fa.c0 - fb.c0) % g != 0) return true;
+
+  return false;
+}
+
+Classification ClassifyNest(const ir::Program& prog, const ir::LoopNest& nest) {
+  Classification out;
+  int depth = nest.depth();
+  if (depth == 0) return out;
+  DependenceSet deps = AnalyzeDependences(prog, nest);
+
+  // ---- Refinement: retry unknown pairs with section disjointness --------
+  // An array leaves the unknown set only when every pair that pushed it
+  // there is refuted.
+  std::set<int> still_unknown;
+  for (const UnknownRefPair& p : deps.unknown_pairs) {
+    bool refuted = false;
+    if (!p.indirect) {
+      const ir::Operand* from =
+          SlotOperand(nest.body[static_cast<std::size_t>(p.from_stmt)], p.from_slot);
+      const ir::Operand* to =
+          SlotOperand(nest.body[static_cast<std::size_t>(p.to_stmt)], p.to_slot);
+      if (from != nullptr && to != nullptr &&
+          from->kind == ir::Operand::Kind::kAffine &&
+          to->kind == ir::Operand::Kind::kAffine) {
+        refuted = SectionsDisjoint(prog, nest, from->access, to->access);
+      }
+    }
+    if (refuted) {
+      ++out.refuted_pairs;
+    } else {
+      still_unknown.insert(p.array);
+    }
+  }
+  // refuted_pairs counts refutations even for arrays that stay unknown via
+  // another pair; only fully-refuted arrays are removed.
+  out.unknown_arrays.assign(still_unknown.begin(), still_unknown.end());
+  out.has_unknown = !still_unknown.empty();
+
+  // ---- Reduction recognition -------------------------------------------
+  // lhs and one rhs are the identical affine reference, the op commutes,
+  // the other operand does not touch the array, and no other statement
+  // does either (otherwise intermediate partials are observable).
+  std::map<int, int> reduction_by_stmt;  // body index -> array
+  for (int s = 0; s < static_cast<int>(nest.body.size()); ++s) {
+    const ir::Stmt& st = nest.body[static_cast<std::size_t>(s)];
+    if (st.lhs.kind != ir::Operand::Kind::kAffine || !IsCommutative(st.op)) continue;
+    const ir::AffineAccess& acc = st.lhs.access;
+    const ir::Operand* other = nullptr;
+    if (st.rhs0.kind == ir::Operand::Kind::kAffine && SameAccess(st.rhs0.access, acc)) {
+      other = &st.rhs1;
+    } else if (st.rhs1.kind == ir::Operand::Kind::kAffine &&
+               SameAccess(st.rhs1.access, acc)) {
+      other = &st.rhs0;
+    } else {
+      continue;
+    }
+    if (TouchesArray(*other, acc.array)) continue;
+    if (still_unknown.count(acc.array) != 0) continue;
+    bool elsewhere = false;
+    for (int s2 = 0; s2 < static_cast<int>(nest.body.size()); ++s2) {
+      if (s2 != s && StmtTouchesArray(nest.body[static_cast<std::size_t>(s2)], acc.array)) {
+        elsewhere = true;
+        break;
+      }
+    }
+    if (elsewhere) continue;
+    out.reductions.push_back({s, acc.array, st.op});
+    reduction_by_stmt[s] = acc.array;
+  }
+
+  // ---- Privatization detection -----------------------------------------
+  // Array X is privatizable when every read of X is covered by an earlier
+  // same-iteration write of the identical reference (same F and f): the
+  // value never flows across iterations, so carried dependences on X die
+  // once each shard owns a private copy.
+  {
+    struct ARef {
+      int stmt;
+      bool is_write;
+      const ir::AffineAccess* access;
+    };
+    std::map<int, std::vector<ARef>> by_array;
+    std::set<int> tainted;  // arrays with an indirect reference in any role
+    for (int s = 0; s < static_cast<int>(nest.body.size()); ++s) {
+      const ir::Stmt& st = nest.body[static_cast<std::size_t>(s)];
+      auto note = [&](const ir::Operand& op, bool is_write) {
+        if (!op.IsMemory()) return;
+        if (op.kind == ir::Operand::Kind::kIndirect) {
+          tainted.insert(op.target_array);
+          tainted.insert(op.access.array);
+          return;
+        }
+        by_array[op.access.array].push_back({s, is_write, &op.access});
+      };
+      note(st.lhs, true);
+      note(st.rhs0, false);
+      note(st.rhs1, false);
+    }
+    for (const auto& [array, refs] : by_array) {
+      if (tainted.count(array) != 0 || still_unknown.count(array) != 0) continue;
+      bool has_write = false, has_read = false, covered = true;
+      for (const ARef& r : refs) {
+        (r.is_write ? has_write : has_read) = true;
+        if (r.is_write) continue;
+        bool cov = false;
+        for (const ARef& w : refs) {
+          if (w.is_write && w.stmt < r.stmt && SameAccess(*w.access, *r.access)) {
+            cov = true;
+            break;
+          }
+        }
+        covered = covered && cov;
+      }
+      if (has_write && has_read && covered) out.privatizable.push_back(array);
+    }
+  }
+  std::set<int> priv_set(out.privatizable.begin(), out.privatizable.end());
+
+  // ---- Per-level classification ----------------------------------------
+  out.levels.assign(static_cast<std::size_t>(depth), {});
+  if (out.has_unknown) {
+    // An unanalyzable pair could be carried anywhere: every level is
+    // UNKNOWN (the lattice top).
+    for (LevelClass& lc : out.levels) lc.kind = LevelKind::kUnknown;
+    return out;
+  }
+  for (int l = 0; l < depth; ++l) {
+    LevelClass& lc = out.levels[static_cast<std::size_t>(l)];
+    lc.kind = LevelKind::kDoall;
+    for (const Dependence& d : deps.deps) {
+      if (!d.distance_known ||
+          static_cast<int>(d.distance.size()) != depth) {
+        continue;
+      }
+      int first = -1;
+      for (int k = 0; k < depth; ++k) {
+        if (d.distance[static_cast<std::size_t>(k)] != 0) {
+          first = k;
+          break;
+        }
+      }
+      if (first != l) continue;  // not carried at this level
+      // Discharge: a recognized reduction's self-dependence, then a
+      // privatizable array's carried dependence. Both become proof
+      // obligations rather than DOACROSS evidence.
+      auto red = reduction_by_stmt.find(d.from_stmt);
+      if (d.from_stmt == d.to_stmt && red != reduction_by_stmt.end() &&
+          red->second == d.array) {
+        lc.reduction_stmts.push_back(d.from_stmt);
+        continue;
+      }
+      if (priv_set.count(d.array) != 0) {
+        lc.privatization.push_back(d.array);
+        continue;
+      }
+      Int dist = std::abs(d.distance[static_cast<std::size_t>(l)]);
+      if (!lc.witness_valid || dist < lc.min_distance) {
+        lc.min_distance = dist;
+        lc.witness = d;
+        lc.witness_valid = true;
+      }
+      lc.kind = LevelKind::kDoacross;
+    }
+    SortUnique(&lc.privatization);
+    SortUnique(&lc.reduction_stmts);
+  }
+  return out;
+}
+
+std::string Classification::ToString() const {
+  std::ostringstream os;
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    const LevelClass& lc = levels[l];
+    os << "L" << l << ": " << LevelKindName(lc.kind);
+    if (lc.kind == LevelKind::kDoacross && lc.witness_valid) {
+      os << " min=" << lc.min_distance << " witness=S" << lc.witness.from_stmt << "->S"
+         << lc.witness.to_stmt << (lc.witness.is_flow ? " flow " : " anti/output ")
+         << DistanceString(lc.witness.distance);
+    }
+    if (!lc.privatization.empty()) {
+      os << " privatize={";
+      for (std::size_t i = 0; i < lc.privatization.size(); ++i) {
+        os << (i ? "," : "") << lc.privatization[i];
+      }
+      os << "}";
+    }
+    if (!lc.reduction_stmts.empty()) {
+      os << " reduce={";
+      for (std::size_t i = 0; i < lc.reduction_stmts.size(); ++i) {
+        os << (i ? "," : "") << "stmt" << lc.reduction_stmts[i];
+      }
+      os << "}";
+    }
+    os << "\n";
+  }
+  if (!unknown_arrays.empty()) {
+    os << "unknown arrays:";
+    for (int a : unknown_arrays) os << " " << a;
+    os << "\n";
+  }
+  if (refuted_pairs > 0) os << "disjointness refuted " << refuted_pairs << " pair(s)\n";
+  return os.str();
+}
+
+}  // namespace ndc::analysis

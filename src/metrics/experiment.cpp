@@ -5,6 +5,7 @@
 
 #include "compiler/codegen.hpp"
 #include "obs/phase.hpp"
+#include "workloads/sharded.hpp"
 
 namespace ndc::metrics {
 
@@ -35,7 +36,12 @@ Experiment::Experiment(std::string workload, workloads::Scale scale, arch::ArchC
                        std::uint64_t seed)
     : workload_(std::move(workload)), scale_(scale), cfg_(cfg), seed_(seed) {
   obs::ScopedPhase phase(obs::Phase::kBuildWorkload);
-  base_program_ = workloads::BuildWorkload(workload_, scale_, seed_);
+  // shard.* scenarios are sized by the machine itself (one shard per core)
+  // and pass through the sharded generator's classifier gate.
+  base_program_ = workloads::IsShardedScenario(workload_)
+                      ? workloads::BuildShardedWorkload(workload_, scale_,
+                                                        cfg_.num_nodes(), seed_)
+                      : workloads::BuildWorkload(workload_, scale_, seed_);
 }
 
 const std::vector<arch::Trace>& Experiment::BaselineTraces() {

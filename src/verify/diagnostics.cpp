@@ -1,5 +1,6 @@
 #include "verify/diagnostics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -36,17 +37,29 @@ const char* CodeName(Code c) {
     case Code::kLeadOnUnknownArray: return "lead-on-unknown-array";
     case Code::kParallelCarriedDependence: return "parallel-carried-dependence";
     case Code::kParallelUnknownDependence: return "parallel-unknown-dependence";
+    case Code::kAnnotatedCarriedFlow: return "annotated-carried-flow";
+    case Code::kAnnotatedCarriedAntiOutput: return "annotated-carried-anti-output";
+    case Code::kAnnotatedUnknownDeps: return "annotated-unknown-deps";
+    case Code::kAnnotationNeedsReduction: return "annotation-needs-reduction";
+    case Code::kAnnotationNeedsPrivatization: return "annotation-needs-privatization";
+    case Code::kAnnotationBadLevel: return "annotation-bad-level";
+    case Code::kAnnotationUnusedObligation: return "annotation-unused-obligation";
   }
   return "?";
 }
 
-std::string Diagnostic::ToString() const {
+std::string CodeId(Code c) {
   // Code prefix mirrors the pass that owns the range: V1xx structural
-  // (validator), L2xx legality (auditor), R3xx races (detector).
-  int num = static_cast<int>(code);
-  char prefix = num >= 300 ? 'R' : num >= 200 ? 'L' : 'V';
+  // (validator), L2xx legality (auditor), R3xx races (detector),
+  // P4xx parallel-annotation proofs.
+  int num = static_cast<int>(c);
+  char prefix = num >= 400 ? 'P' : num >= 300 ? 'R' : num >= 200 ? 'L' : 'V';
+  return prefix + std::to_string(num);
+}
+
+std::string Diagnostic::ToString() const {
   std::ostringstream os;
-  os << SeverityName(severity) << " [" << prefix << num << " " << CodeName(code) << "]";
+  os << SeverityName(severity) << " [" << CodeId(code) << " " << CodeName(code) << "]";
   if (nest >= 0) os << " nest " << nest;
   if (stmt >= 0) os << " stmt " << stmt;
   if (stmt_id != 0) os << " (S" << stmt_id << ")";
@@ -76,6 +89,17 @@ int Report::Count(Severity s) const {
 
 void Report::Merge(const Report& other) {
   diags.insert(diags.end(), other.diags.begin(), other.diags.end());
+}
+
+void Report::Sort() {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.nest != b.nest) return a.nest < b.nest;
+                     if (a.stmt != b.stmt) return a.stmt < b.stmt;
+                     if (a.code != b.code) return static_cast<int>(a.code) < static_cast<int>(b.code);
+                     if (a.array != b.array) return a.array < b.array;
+                     return a.message < b.message;
+                   });
 }
 
 std::string Report::ToText() const {

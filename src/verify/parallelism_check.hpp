@@ -1,0 +1,25 @@
+#pragma once
+
+#include "ir/program.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/verify_options.hpp"
+
+namespace ndc::verify {
+
+/// Parallel-annotation proof audit (P4xx). For every nest carrying a
+/// `ParallelAnnotation`, re-runs the parallelism classifier
+/// (analysis/parallelism.hpp) from scratch and checks the annotation
+/// against the proof:
+///  - P401/P402 (error): the annotated level carries a flow / anti-output
+///    dependence — the witness distance vector is printed;
+///  - P403 (error): unanalyzable references survive disjointness
+///    refinement, so nothing is provable about the nest;
+///  - P404/P405 (error): the level is DOALL only under a reduction-combine
+///    / privatization obligation the annotation does not accept;
+///  - P406 (error): the annotated level is outside the nest depth;
+///  - P407 (note): the annotation accepts an obligation the proof never
+///    needed (harmless over-provisioning).
+void CheckParallelism(const ir::Program& prog, const VerifyOptions& opts,
+                      Report* report);
+
+}  // namespace ndc::verify

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "verify/diagnostics.hpp"
+
+namespace ndc::verify {
+
+/// Renders a report as a SARIF 2.1.0 log (the static-analysis interchange
+/// format consumed by GitHub code scanning and most SARIF viewers). One
+/// run, one tool; every distinct diagnostic code becomes a reporting rule
+/// and every finding a result with a logical location
+/// "<program>/nest<N>/stmt<S>". Severities map kError -> "error",
+/// kWarning -> "warning", kNote -> "note".
+std::string ToSarif(const Report& report, const std::string& tool_name = "ndc-lint",
+                    const std::string& tool_version = "1.0.0");
+
+}  // namespace ndc::verify

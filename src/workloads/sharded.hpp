@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ndc::workloads {
+
+/// The sharded scenario family: kernels whose outermost loop is an explicit
+/// shard (core) dimension — iteration i of the original loop becomes
+/// (c, i_local) with i = c*chunk + i_local, so the code generator's block
+/// distribution assigns exactly one shard per core. Every emitted nest
+/// carries a ParallelAnnotation on level 0, and the generator refuses to
+/// return a program the parallelism classifier cannot prove: obligations
+/// are discharged *by construction* (per-core accumulators for reductions,
+/// expanded arrays for privatization) before the gate runs.
+///
+/// Scenarios (all Figure-order scale-aware like the 20 stand-ins):
+///  - shard.stream:  disjoint-halves stream — writes x[0,N), reads x[N,2N);
+///    provable only through the array-section disjointness refinement.
+///  - shard.stencil: halo-offset Jacobi step, separate in/out arrays.
+///  - shard.reduce:  per-core partial sums + a sequential (trip-1 outer)
+///    combine nest; the reduction self-dependence sits at level 1.
+///  - shard.priv:    per-core expanded temporary (real privatization); the
+///    classifier still reports the temp as privatizable evidence.
+/// The test-only scenario "shard.racy" (accepted by BuildShardedWorkload,
+/// absent from ShardedScenarios) carries a genuine cross-shard dependence
+/// and must make the gate throw.
+const std::vector<WorkloadInfo>& ShardedScenarios();
+
+/// Names only.
+std::vector<std::string> ShardedNames();
+
+/// True for names of the shard.* family (including shard.racy).
+bool IsShardedScenario(const std::string& name);
+
+/// Builds scenario `name` split across `num_cores` shards. Throws
+/// std::invalid_argument for unknown names and std::logic_error when the
+/// parallelism classifier cannot prove an annotated level DOALL with all
+/// obligations accepted (the verifier gate).
+ir::Program BuildShardedWorkload(const std::string& name, Scale scale, int num_cores,
+                                 std::uint64_t seed = 1);
+
+}  // namespace ndc::workloads

@@ -135,6 +135,48 @@ TEST(Delinearize, MatchesBruteForceProperty) {
   }
 }
 
+TEST(Delinearize, ZeroCoefficientLoopIsPinnedToZero) {
+  // F = [64, 0]: the inner loop never moves the subscript. The solver must
+  // canonicalize its distance to 0 (any other value names the same solution
+  // family) and still produce a unique answer for the outer component.
+  IntMat f(1, 2, {64, 0});
+  IntVec d;
+  ASSERT_TRUE(SolveUniformDistance(f, {32, 32}, {128}, &d));
+  EXPECT_EQ(d, (IntVec{2, 0}));
+  // A residue the coefficients cannot reach has no solution at all.
+  EXPECT_FALSE(SolveUniformDistance(f, {32, 32}, {130}, &d));
+}
+
+TEST(Delinearize, DeltaExactlyAtTripBoundaryIsRejected) {
+  // F = [8, 1], trips (4, 8): |delta_k| must stay strictly below the trip
+  // count. rhs = 31 = 8*3 + 7 is the largest representable distance;
+  // rhs = 32 would need delta = (4,0) or (3,8), both at the boundary.
+  IntMat f(1, 2, {8, 1});
+  IntVec d;
+  ASSERT_TRUE(SolveUniformDistance(f, {4, 8}, {31}, &d));
+  EXPECT_EQ(d, (IntVec{3, 7}));
+  EXPECT_FALSE(SolveUniformDistance(f, {4, 8}, {32}, &d));
+  EXPECT_FALSE(SolveUniformDistance(f, {4, 8}, {-32}, &d));
+}
+
+TEST(Delinearize, TriangularBoundsFeedMidpointTrips) {
+  // Inner bound j <= i over i in [0,7]: AvgTrips evaluates the dependent
+  // bound at the outer midpoint (i=3), giving trips (8, 4). Distances legal
+  // under the midpoint trip solve; distances needing the full rectangular
+  // range do not.
+  LoopNest nest;
+  nest.loops = {{0, 7, -1, 0, -1, 0}, {0, 0, -1, 0, 0, 1}};
+  std::vector<Int> trips = AvgTrips(nest);
+  ASSERT_EQ(trips, (std::vector<Int>{8, 4}));
+  IntMat f(1, 2, {8, 1});
+  IntVec d;
+  ASSERT_TRUE(SolveUniformDistance(f, trips, {3}, &d));
+  EXPECT_EQ(d, (IntVec{0, 3}));
+  // |delta1| = 4 is representable in the full 8-wide inner range but not
+  // under the conservative midpoint trip of 4.
+  EXPECT_FALSE(SolveUniformDistance(f, trips, {4}, &d));
+}
+
 // --- kernel vectors ---------------------------------------------------------
 
 TEST(KernelVector, UnitVectorForDroppedLoop) {

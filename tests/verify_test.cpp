@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/pipeline.hpp"
+#include "verify/sarif.hpp"
 #include "verify/verify.hpp"
 #include "workloads/workloads.hpp"
 
@@ -411,6 +412,254 @@ TEST(RaceDetector, CanBeDisabled) {
   opts.check_races = false;
   Report r = VerifyProgram(p, opts);
   EXPECT_EQ(CountCode(r, Code::kParallelCarriedDependence), 0) << r.ToText();
+}
+
+TEST(RaceDetector, ProvenDisjointPairProducesZeroWarnings) {
+  // x[8i+j] = x[8i+j+32] + B[i,j]: the read and write touch disjoint
+  // halves of x. The uniform solve cannot bound the offset, so the old
+  // heuristic detector warned R302 here; the classifier-backed detector
+  // must refute the pair by section disjointness and stay silent.
+  ir::Program p;
+  p.name = "disjoint";
+  int x = p.AddArray("x", {64});
+  int b = p.AddArray("B", {4, 8});
+  ir::LoopNest nest;
+  nest.loops = {{0, 3, -1, 0, -1, 0}, {0, 7, -1, 0, -1, 0}};
+  ir::Stmt st;
+  st.id = p.NextStmtId();
+  ir::AffineAccess wr;
+  wr.array = x;
+  wr.F = IntMat(1, 2, {8, 1});
+  wr.f = {0};
+  ir::AffineAccess rd = wr;
+  rd.f = {32};
+  ir::AffineAccess rb;
+  rb.array = b;
+  rb.F = IntMat(2, 2, {1, 0, 0, 1});
+  rb.f = {0, 0};
+  st.lhs = Operand::Affine(wr);
+  st.rhs0 = Operand::Affine(rd);
+  st.rhs1 = Operand::Affine(rb);
+  nest.body.push_back(st);
+  p.nests.push_back(std::move(nest));
+  Report r = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r, Code::kParallelUnknownDependence), 0) << r.ToText();
+  EXPECT_EQ(CountCode(r, Code::kParallelCarriedDependence), 0) << r.ToText();
+  EXPECT_EQ(r.WarningCount(), 0) << r.ToText();
+}
+
+TEST(RaceDetector, AnnotationAcceptedPrivatizationSuppressesTheWarning) {
+  // t(j) written then read each iteration: its carried output dependence
+  // warns unless the nest promises privatization.
+  auto make = [] {
+    ir::Program p;
+    int a = p.AddArray("A", {64});
+    int tmp = p.AddArray("t", {8});
+    int out = p.AddArray("out", {64});
+    ir::LoopNest nest;
+    nest.loops = {{0, 7, -1, 0, -1, 0}, {0, 7, -1, 0, -1, 0}};
+    auto acc1 = [](int array, IntVec coefs, Int off) {
+      ir::AffineAccess x;
+      x.array = array;
+      x.F = IntMat(1, 2, {coefs[0], coefs[1]});
+      x.f = {off};
+      return Operand::Affine(x);
+    };
+    ir::Stmt s0;
+    s0.id = p.NextStmtId();
+    s0.lhs = acc1(tmp, {0, 1}, 0);
+    s0.rhs0 = acc1(a, {8, 1}, 0);
+    s0.rhs1 = acc1(a, {8, 1}, 0);
+    ir::Stmt s1;
+    s1.id = p.NextStmtId();
+    s1.lhs = acc1(out, {8, 1}, 0);
+    s1.rhs0 = acc1(tmp, {0, 1}, 0);
+    s1.rhs1 = acc1(a, {8, 1}, 0);
+    nest.body = {s0, s1};
+    p.nests.push_back(std::move(nest));
+    return p;
+  };
+  ir::Program plain = make();
+  Report r1 = VerifyProgram(plain);
+  EXPECT_GE(CountCode(r1, Code::kParallelCarriedDependence), 1) << r1.ToText();
+
+  ir::Program annotated = make();
+  annotated.nests[0].parallel.level = 0;
+  annotated.nests[0].parallel.privatized_ok = true;
+  Report r2 = VerifyProgram(annotated);
+  EXPECT_EQ(CountCode(r2, Code::kParallelCarriedDependence), 0) << r2.ToText();
+  EXPECT_TRUE(r2.Clean()) << r2.ToText();
+}
+
+// --- parallel-annotation proof audit (P4xx) -------------------------------
+
+TEST(ParallelismCheck, AnnotatedCarriedFlowIsAnErrorWithWitnessDistance) {
+  // A(i+1, j) = A(i, j): annotating level 0 parallel contradicts the
+  // (1,0) flow dependence; the witness vector must appear in the message.
+  ir::Program p = FlowDepProgram();
+  p.nests[0].body[0].lhs.access.f = {1, 0};
+  p.nests[0].parallel.level = 0;
+  Report r = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r, Code::kAnnotatedCarriedFlow), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+  EXPECT_NE(r.ToText().find("(1,0)"), std::string::npos) << r.ToText();
+}
+
+TEST(ParallelismCheck, InnerLevelAnnotationCatchesInnerCarriedDependence) {
+  // Distance (0,1): level 0 is safely parallel, level 1 is not.
+  ir::Program ok = FlowDepProgram();
+  ok.nests[0].parallel.level = 0;
+  Report r_ok = VerifyProgram(ok);
+  EXPECT_EQ(CountCode(r_ok, Code::kAnnotatedCarriedFlow), 0) << r_ok.ToText();
+  EXPECT_TRUE(r_ok.Clean()) << r_ok.ToText();
+
+  ir::Program bad = FlowDepProgram();
+  bad.nests[0].parallel.level = 1;
+  Report r_bad = VerifyProgram(bad);
+  EXPECT_EQ(CountCode(r_bad, Code::kAnnotatedCarriedFlow), 1) << r_bad.ToText();
+  EXPECT_NE(r_bad.ToText().find("(0,1)"), std::string::npos) << r_bad.ToText();
+}
+
+TEST(ParallelismCheck, CleanNestAnnotationPasses) {
+  ir::Program p = CleanProgram();
+  p.nests[0].parallel.level = 0;
+  Report r = VerifyProgram(p);
+  EXPECT_TRUE(r.Clean()) << r.ToText();
+  EXPECT_EQ(r.diags.size(), 0u) << r.ToText();
+}
+
+TEST(ParallelismCheck, BadLevelIsAnError) {
+  ir::Program p = CleanProgram();
+  p.nests[0].parallel.level = 5;
+  Report r = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r, Code::kAnnotationBadLevel), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(ParallelismCheck, UnknownDepsMakeTheAnnotationUnprovable) {
+  ir::Program p = CleanProgram();
+  int idx = p.AddArray("idx", {8});
+  p.index_data[idx] = {0, 1, 2, 3, 4, 5, 6, 7};
+  ir::AffineAccess ia;
+  ia.array = idx;
+  ia.F = IntMat(1, 2, {1, 0});
+  ia.f = {0};
+  ir::Stmt extra;
+  extra.id = p.NextStmtId();
+  extra.lhs = Operand::Indirect(ia, 0);
+  extra.rhs0 = p.nests[0].body[0].rhs0;
+  extra.rhs1 = Operand::Scalar();
+  p.nests[0].body.push_back(extra);
+  p.nests[0].parallel.level = 0;
+  Report r = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r, Code::kAnnotatedUnknownDeps), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST(ParallelismCheck, ReductionObligationNeedsTheFlag) {
+  // s(i) += A(i,j): the reduction self-dependence is carried at level 1,
+  // so annotating level 1 requires reduction_ok.
+  ir::Program p;
+  int s = p.AddArray("s", {8});
+  int a = p.AddArray("A", {64});
+  ir::LoopNest nest;
+  nest.loops = {{0, 7, -1, 0, -1, 0}, {0, 7, -1, 0, -1, 0}};
+  ir::Stmt st;
+  st.id = p.NextStmtId();
+  ir::AffineAccess sa;
+  sa.array = s;
+  sa.F = IntMat(1, 2, {1, 0});
+  sa.f = {0};
+  ir::AffineAccess aa;
+  aa.array = a;
+  aa.F = IntMat(1, 2, {8, 1});
+  aa.f = {0};
+  st.lhs = Operand::Affine(sa);
+  st.op = arch::Op::kAdd;
+  st.rhs0 = Operand::Affine(sa);
+  st.rhs1 = Operand::Affine(aa);
+  nest.body.push_back(st);
+  nest.parallel.level = 1;
+  p.nests.push_back(std::move(nest));
+
+  Report r = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r, Code::kAnnotationNeedsReduction), 1) << r.ToText();
+  EXPECT_FALSE(r.Clean());
+
+  p.nests[0].parallel.reduction_ok = true;
+  Report r2 = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r2, Code::kAnnotationNeedsReduction), 0) << r2.ToText();
+  EXPECT_TRUE(r2.Clean()) << r2.ToText();
+}
+
+TEST(ParallelismCheck, UnusedObligationIsANote) {
+  ir::Program p = CleanProgram();
+  p.nests[0].parallel.level = 0;
+  p.nests[0].parallel.reduction_ok = true;  // nothing to combine
+  Report r = VerifyProgram(p);
+  EXPECT_EQ(CountCode(r, Code::kAnnotationUnusedObligation), 1) << r.ToText();
+  EXPECT_TRUE(r.Clean()) << r.ToText();  // a note, not an error
+}
+
+TEST(ParallelismCheck, CanBeDisabled) {
+  ir::Program p = FlowDepProgram();
+  p.nests[0].body[0].lhs.access.f = {1, 0};
+  p.nests[0].parallel.level = 0;
+  VerifyOptions opts;
+  opts.check_parallelism = false;
+  Report r = VerifyProgram(p, opts);
+  EXPECT_EQ(CountCode(r, Code::kAnnotatedCarriedFlow), 0) << r.ToText();
+}
+
+// --- report determinism and SARIF export ----------------------------------
+
+TEST(ReportOrdering, SortIsByNestStmtCode) {
+  Report r;
+  r.Add(Severity::kWarning, Code::kParallelCarriedDependence, "b", 2, 1);
+  r.Add(Severity::kError, Code::kBadArrayRef, "a", 0, 3);
+  r.Add(Severity::kError, Code::kShapeMismatch, "c", 0, 1);
+  r.Add(Severity::kError, Code::kBadArrayRef, "d", 0, 1);
+  r.Sort();
+  ASSERT_EQ(r.diags.size(), 4u);
+  EXPECT_EQ(r.diags[0].message, "d");  // nest 0, stmt 1, code 101
+  EXPECT_EQ(r.diags[1].message, "c");  // nest 0, stmt 1, code 102
+  EXPECT_EQ(r.diags[2].message, "a");  // nest 0, stmt 3
+  EXPECT_EQ(r.diags[3].message, "b");  // nest 2
+}
+
+TEST(ReportOrdering, VerifyProgramOutputIsByteStable) {
+  ir::Program p1 = FlowDepProgram();
+  p1.nests[0].body[0].lhs.access.f = {1, 0};
+  p1.nests[0].parallel.level = 0;
+  ir::Program p2 = FlowDepProgram();
+  p2.nests[0].body[0].lhs.access.f = {1, 0};
+  p2.nests[0].parallel.level = 0;
+  EXPECT_EQ(VerifyProgram(p1).ToText(), VerifyProgram(p2).ToText());
+}
+
+TEST(Sarif, EmptyReportIsAValidSkeleton) {
+  Report r;
+  std::string s = ToSarif(r);
+  EXPECT_NE(s.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"runs\""), std::string::npos);
+  EXPECT_NE(s.find("\"results\": []"), std::string::npos);
+  EXPECT_NE(s.find("\"rules\": []"), std::string::npos);
+}
+
+TEST(Sarif, FindingsCarryRuleIdsLevelsAndEscapedText) {
+  Report r;
+  r.Add(Severity::kError, Code::kAnnotatedCarriedFlow, "dist \"(1,0)\"", 2, 1, 0, 3);
+  r.Add(Severity::kWarning, Code::kParallelCarriedDependence, "carried", 0, 0);
+  std::string s = ToSarif(r);
+  EXPECT_NE(s.find("\"ruleId\": \"P401\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"ruleId\": \"R301\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(s.find("\"level\": \"warning\""), std::string::npos);
+  EXPECT_NE(s.find("dist \\\"(1,0)\\\""), std::string::npos) << s;
+  EXPECT_NE(s.find("annotated-carried-flow"), std::string::npos);
+  EXPECT_NE(s.find("nest2/stmt1"), std::string::npos);
+  // Rules are listed once per distinct code, ordered by numeric code.
+  EXPECT_LT(s.find("\"id\": \"R301\""), s.find("\"id\": \"P401\""));
 }
 
 // --- pipeline integration ------------------------------------------------
