@@ -74,6 +74,9 @@ void Core::ResolveWaiter(std::uint32_t idx) {
       port_.IssueStore(id_, idx, in.addr);
       Complete(idx, ready + 1);
       break;
+    case Instr::Kind::kSync:
+      port_.IssueSync(id_, idx, in);  // sync engine completes the slot
+      break;
     default:
       break;  // loads/pre-computes are completed by the memory port
   }
@@ -162,6 +165,21 @@ void Core::DispatchSlot(std::uint32_t idx) {
       precomputes_ctr_.Add();
       port_.IssuePreCompute(id_, idx, in);
       break;
+    case Instr::Kind::kSync:
+      // Sync ops wait for their data dep (e.g. the guarded store, or the
+      // value whose delta they carry) before the request leaves the core;
+      // the grant response completes the slot.
+      syncs_ctr_.Add();
+      if (DepsDone(in, &ready)) {
+        port_.IssueSync(id_, idx, in);
+      } else {
+        for (std::int32_t dep : {in.dep0, in.dep1}) {
+          if (dep >= 0 && done_[static_cast<std::size_t>(dep)] == sim::kNeverCycle) {
+            dependents_[static_cast<std::size_t>(dep)].push_back(idx);
+          }
+        }
+      }
+      break;
   }
 }
 
@@ -172,6 +190,7 @@ void Core::MaterializeStats() {
   stores_ctr_.MaterializeInto(stats_, "core.stores");
   computes_ctr_.MaterializeInto(stats_, "core.computes");
   precomputes_ctr_.MaterializeInto(stats_, "core.precomputes");
+  syncs_ctr_.MaterializeInto(stats_, "core.syncs");
 }
 
 }  // namespace ndc::arch

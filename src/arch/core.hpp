@@ -84,7 +84,8 @@ class Core {
   sim::Cycle finish_cycle_ = 0;
   bool retry_scheduled_ = false;
   sim::Cycle retry_cycle_ = 0;
-  sim::RawCounter issued_ctr_, loads_ctr_, stores_ctr_, computes_ctr_, precomputes_ctr_;
+  sim::RawCounter issued_ctr_, loads_ctr_, stores_ctr_, computes_ctr_, precomputes_ctr_,
+      syncs_ctr_;
   sim::StatSet stats_;
 };
 

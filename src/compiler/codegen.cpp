@@ -41,13 +41,21 @@ struct Emission {
 struct LoadKey {
   int stmt;
   ir::Int j;
-  int which;  // 0/1 = operand, 2 = store-index
+  int which;  // 0/1 = operand, 2 = store-index, 3 = lock acquire
   bool operator<(const LoadKey& o) const {
     if (stmt != o.stmt) return stmt < o.stmt;
     if (j != o.j) return j < o.j;
     return which < o.which;
   }
 };
+
+// Deterministic per-iteration reduction payload. Both lowering schemes
+// (remote fetch-add and lock-guarded host RMW) contribute the same value
+// for the same iteration, so the engines' final value maps agree across
+// schemes — the cross-scheme equivalence the sync tests assert.
+ir::Int ReductionPayload(const ir::IntVec& iter) {
+  return 1 + ((iter.front() * 31 + iter.back()) % 13);
+}
 
 }  // namespace
 
@@ -86,6 +94,29 @@ CodegenResult Lower(const ir::Program& prog, int num_cores, const arch::ArchConf
       per_core[static_cast<std::size_t>(CoreForIteration(nest, iter, num_cores))].push_back(iter);
     });
 
+    // Post/wait DOACROSS lowering needs to know, for each iteration, which
+    // core runs it and at which local position (the wait threshold is the
+    // producer's 1-based position). Sync-annotated nests never carry a
+    // schedule transform (the pipeline refuses transforms on annotated
+    // nests), so the partition order above is final.
+    const bool postwait =
+        nest.sync.kind == ir::SyncKind::kPostWait && nest.sync.sync_array >= 0;
+    std::map<ir::IntVec, std::pair<int, ir::Int>> iter_pos;
+    if (postwait) {
+      for (int c = 0; c < num_cores; ++c) {
+        const std::vector<ir::IntVec>& its = per_core[static_cast<std::size_t>(c)];
+        for (std::size_t k = 0; k < its.size(); ++k) {
+          iter_pos[its[k]] = {c, static_cast<ir::Int>(k)};
+        }
+      }
+    }
+    int participants = 0;
+    if (nest.sync.barrier_after && nest.sync.sync_array >= 0) {
+      for (int c = 0; c < num_cores; ++c) {
+        if (!per_core[static_cast<std::size_t>(c)].empty()) ++participants;
+      }
+    }
+
     for (int core = 0; core < num_cores; ++core) {
       std::vector<ir::IntVec>& iters = per_core[static_cast<std::size_t>(core)];
       if (iters.empty()) continue;
@@ -103,6 +134,30 @@ CodegenResult Lower(const ir::Program& prog, int num_cores, const arch::ArchConf
       emissions.reserve(static_cast<std::size_t>(m) * nest.body.size() * 4);
       for (int s = 0; s < static_cast<int>(nest.body.size()); ++s) {
         const ir::Stmt& st = nest.body[static_cast<std::size_t>(s)];
+        if (st.sync.kind == ir::SyncKind::kNdcAtomic) {
+          // The RMW collapses to one remote fetch-add: load the contributed
+          // operand, then ship the delta to the sync engine. No local
+          // accumulator load, compute, or store is emitted.
+          for (ir::Int j = 0; j < m; ++j) {
+            if (st.rhs1.IsMemory()) emissions.push_back({j, s, kLoad1, j});
+            emissions.push_back({j, s, kComputeP, j});
+          }
+          continue;
+        }
+        if (st.sync.kind == ir::SyncKind::kHostLock) {
+          // Lock-guarded host RMW: the data load stays outside the critical
+          // section; acquire -> accumulator load -> compute -> store ->
+          // release. Phase values only encode within-slot order here (the
+          // data load reuses kLoad0's slot so it can overlap the acquire).
+          for (ir::Int j = 0; j < m; ++j) {
+            if (st.rhs1.IsMemory()) emissions.push_back({j, s, kLoad0, j});
+            emissions.push_back({j, s, kIdx1, j});  // lock acquire
+            if (st.rhs0.IsMemory()) emissions.push_back({j, s, kLoad1, j});
+            emissions.push_back({j, s, kComputeP, j});
+            emissions.push_back({j, s, kStoreP, j});  // store + release
+          }
+          continue;
+        }
         ir::Int lead0 = st.ndc.offload ? st.ndc.lead0 : 0;
         ir::Int lead1 = st.ndc.offload ? st.ndc.lead1 : 0;
         for (ir::Int j = 0; j < m; ++j) {
@@ -130,11 +185,23 @@ CodegenResult Lower(const ir::Program& prog, int num_cores, const arch::ArchConf
           }
         }
       }
+      if (postwait) {
+        // Pseudo-statements bracketing each iteration: a wait (stmt -1,
+        // sorts before every body statement of the slot) and a post
+        // (stmt == body.size(), sorts after).
+        for (ir::Int j = 0; j < m; ++j) {
+          emissions.push_back({j, -1, kIdx0, j});
+          emissions.push_back({j, static_cast<int>(nest.body.size()), kStoreP, j});
+        }
+      }
       std::stable_sort(emissions.begin(), emissions.end());
 
       arch::Trace& trace = out.traces[static_cast<std::size_t>(core)];
+      const std::size_t nest_base = trace.size();
       std::map<LoadKey, std::int32_t> load_at;
       std::map<LoadKey, std::int32_t> compute_at;
+      std::map<ir::Int, std::int32_t> wait_at;  // j -> wait slot gating its loads
+      std::map<ir::Int, std::int32_t> last_at;  // j -> last emitted instr (post dep)
 
       auto emit_operand_load = [&](const ir::Stmt& st, const ir::Operand& op, ir::Int j,
                                    int which, Phase idx_phase) {
@@ -158,6 +225,12 @@ CodegenResult Lower(const ir::Program& prog, int num_cores, const arch::ArchConf
             trace.push_back(il);
           }
         }
+        if (dep < 0) {
+          // Post/wait ordering: the iteration's loads may not leave the
+          // core before its wait has been granted.
+          auto w = wait_at.find(j);
+          if (w != wait_at.end()) dep = w->second;
+        }
         arch::Instr ld = arch::MakeLoad(*addr, dep);
         ld.pc = st.id * 16 + static_cast<std::uint32_t>(which) * 2 + 1;
         load_at[{static_cast<int>(&st - nest.body.data()), j, which}] =
@@ -165,9 +238,111 @@ CodegenResult Lower(const ir::Program& prog, int num_cores, const arch::ArchConf
         trace.push_back(ld);
       };
 
+      // Sync-lowered reduction statements. kNdcAtomic: the data load feeds
+      // one remote fetch-add carrying the iteration's payload. kHostLock:
+      // acquire -> guarded load/compute/store (never NDC-offloaded: the
+      // accumulator line must not meet in-network while a lock orders it)
+      // -> release carrying the payload for the engine's value map.
+      auto emit_sync_stmt = [&](const Emission& e, const ir::Stmt& st, const ir::IntVec& iter) {
+        auto find_at = [&](std::map<LoadKey, std::int32_t>& m2, int which) -> std::int32_t {
+          auto it = m2.find({e.stmt, e.j, which});
+          return it == m2.end() ? -1 : it->second;
+        };
+        auto lhs_addr = prog.ResolveAddr(st.lhs, iter);
+        if (st.sync.kind == ir::SyncKind::kNdcAtomic) {
+          if (e.phase == kLoad1) {
+            emit_operand_load(st, st.rhs1, e.j, 1, kIdx1);
+          } else if (e.phase == kComputeP && lhs_addr.has_value()) {
+            arch::Instr sy = arch::MakeSync(sync::SyncOp::kAtomicAdd, *lhs_addr,
+                                            ReductionPayload(iter), find_at(load_at, 1));
+            sy.pc = st.id * 16 + kComputeP;
+            trace.push_back(sy);
+          }
+          return;
+        }
+        switch (e.phase) {
+          case kLoad0:  // data load, outside the critical section
+            emit_operand_load(st, st.rhs1, e.j, 1, kIdx0);
+            break;
+          case kIdx1: {  // lock acquire on the accumulator cell
+            if (!lhs_addr.has_value()) break;
+            load_at[{e.stmt, e.j, 3}] = static_cast<std::int32_t>(trace.size());
+            arch::Instr sy = arch::MakeSync(sync::SyncOp::kLockAcquire, *lhs_addr);
+            sy.pc = st.id * 16 + kIdx1;
+            trace.push_back(sy);
+            break;
+          }
+          case kLoad1: {  // accumulator load, gated on the acquire
+            emit_operand_load(st, st.rhs0, e.j, 0, kIdx1);
+            std::int32_t acq = find_at(load_at, 3);
+            std::int32_t ld = find_at(load_at, 0);
+            if (ld >= 0 && acq >= 0 && trace[static_cast<std::size_t>(ld)].dep0 < 0) {
+              trace[static_cast<std::size_t>(ld)].dep0 = acq;
+            }
+            break;
+          }
+          case kComputeP: {
+            arch::Instr ci = arch::MakeCompute(st.op, find_at(load_at, 0), find_at(load_at, 1),
+                                               /*candidate=*/false, st.id * 16 + kComputeP,
+                                               st.id);
+            compute_at[{e.stmt, e.j, 0}] = static_cast<std::int32_t>(trace.size());
+            trace.push_back(ci);
+            break;
+          }
+          case kStoreP: {
+            if (!lhs_addr.has_value()) break;
+            std::int32_t cmp = find_at(compute_at, 0);
+            arch::Instr si = arch::MakeStore(*lhs_addr, cmp);
+            si.pc = st.id * 16 + kStoreP;
+            std::int32_t st_idx = static_cast<std::int32_t>(trace.size());
+            trace.push_back(si);
+            arch::Instr rel = arch::MakeSync(sync::SyncOp::kLockRelease, *lhs_addr,
+                                             ReductionPayload(iter), st_idx);
+            rel.pc = st.id * 16 + kStoreP;
+            trace.push_back(rel);
+            break;
+          }
+          default:
+            break;
+        }
+      };
+
       for (const Emission& e : emissions) {
+        if (e.stmt < 0) {
+          // Wait pseudo-statement: consume the cross-core post of the
+          // producing iteration one witness distance upstream. Same-core
+          // producers are already ordered by the trace; they need no wait.
+          const ir::IntVec& iter = iters[static_cast<std::size_t>(e.j)];
+          ir::IntVec prod = iter;
+          prod[0] -= nest.sync.distance;
+          auto it = iter_pos.find(prod);
+          if (it == iter_pos.end() || it->second.first == core) continue;
+          const ir::Array& sa = prog.array(nest.sync.sync_array);
+          sim::Addr paddr = sa.AddrOf({static_cast<ir::Int>(it->second.first)});
+          wait_at[e.j] = static_cast<std::int32_t>(trace.size());
+          trace.push_back(arch::MakeSync(sync::SyncOp::kWait, paddr, it->second.second + 1));
+          continue;
+        }
+        if (e.stmt >= static_cast<int>(nest.body.size())) {
+          // Post pseudo-statement: announce this iteration complete in this
+          // core's post slot, after the iteration's last instruction.
+          const ir::Array& sa = prog.array(nest.sync.sync_array);
+          sim::Addr paddr = sa.AddrOf({static_cast<ir::Int>(core)});
+          auto lit = last_at.find(e.j);
+          std::int32_t dep = lit == last_at.end() ? -1 : lit->second;
+          trace.push_back(arch::MakeSync(sync::SyncOp::kPost, paddr, 0, dep));
+          continue;
+        }
         const ir::Stmt& st = nest.body[static_cast<std::size_t>(e.stmt)];
         const ir::IntVec& iter = iters[static_cast<std::size_t>(e.j)];
+        const std::size_t size_before = trace.size();
+        if (st.sync.kind == ir::SyncKind::kNdcAtomic || st.sync.kind == ir::SyncKind::kHostLock) {
+          emit_sync_stmt(e, st, iter);
+          if (postwait && trace.size() > size_before) {
+            last_at[e.j] = static_cast<std::int32_t>(trace.size()) - 1;
+          }
+          continue;
+        }
         switch (e.phase) {
           case kIdx0:
           case kIdx1:
@@ -216,6 +391,19 @@ CodegenResult Lower(const ir::Program& prog, int num_cores, const arch::ArchConf
             break;
           }
         }
+        if (postwait && trace.size() > size_before) {
+          last_at[e.j] = static_cast<std::int32_t>(trace.size()) - 1;
+        }
+      }
+      if (nest.sync.barrier_after && nest.sync.sync_array >= 0 && participants > 0) {
+        // Join the nest: every active core arrives at the barrier cell (the
+        // sync array's last element) after its final instruction.
+        const ir::Array& sa = prog.array(nest.sync.sync_array);
+        sim::Addr baddr = sa.AddrOf({sa.dims[0] - 1});
+        std::int32_t dep = trace.size() > nest_base
+                               ? static_cast<std::int32_t>(trace.size()) - 1
+                               : -1;
+        trace.push_back(arch::MakeSync(sync::SyncOp::kBarrierArrive, baddr, participants, dep));
       }
     }
     for (const ir::Stmt& st : nest.body) {

@@ -14,6 +14,8 @@ constexpr int kReqToMc = 3;     // home L2 bank -> memory controller (8 B)
 constexpr int kRespToHome = 4;  // memory controller -> home L2 bank (L2 line, 256 B)
 constexpr int kWrite = 5;       // write-through traffic (64 B)
 constexpr int kNdcResult = 6;   // NDC result feed-back to the core (8 B)
+constexpr int kSyncReq = 7;     // core -> sync engine at the addr's home (8 B)
+constexpr int kSyncResp = 8;    // sync engine grant -> core (8 B)
 
 constexpr std::uint64_t Tag(std::uint64_t uid, int operand) {
   return (uid << 1) | static_cast<std::uint64_t>(operand);
@@ -56,8 +58,10 @@ Machine::Machine(const arch::ArchConfig& cfg, MachineOptions opts)
   }
   site_to_uid_.resize(static_cast<std::size_t>(n));
   active_offloads_.assign(static_cast<std::size_t>(n), 0);
+  sync_ = std::make_unique<sync::SyncManager>(eq_, opts_.sync);
   if (opts_.observe) records_ = std::make_shared<RunRecord>(n);
   if (ObsOn()) {
+    sync_->set_registry(&opts_.obs->registry);
     net_->set_request_tracer(&opts_.obs->tracer);
     net_->RegisterMetrics(opts_.obs->registry);
     for (auto& m : mcs_) {
@@ -173,6 +177,7 @@ RunResult Machine::Run(sim::Cycle limit) {
   for (auto& m : mcs_) {
     for (const auto& [k, v] : m->stats().all()) r.stats.Add(k, v);
   }
+  if (sync_->used()) r.sync_values = sync_->values();
   if (opts_.observe) {
     FinalizeRecords(r);
     r.records = records_;
@@ -275,6 +280,38 @@ void Machine::IssuePreCompute(sim::NodeId core, std::uint32_t idx, const arch::I
   }
   // If both operands already reached the core conventionally, finish now.
   MaybeFallback(*inst);
+}
+
+void Machine::IssueSync(sim::NodeId core, std::uint32_t idx, const arch::Instr& instr) {
+  // The request is an ordinary 8-byte NoC packet to the sync engine at the
+  // address's home node; the grant comes back as an 8-byte response. Both
+  // legs queue and contend like any memory request.
+  sim::NodeId engine = amap_.HomeBank(instr.addr);
+  if (ObsOn()) {
+    opts_.obs->sink.Instant("ndc.sync", eq_.now(), core, 0, "op",
+                            static_cast<std::uint64_t>(instr.sync_op));
+  }
+  sync::SyncRequest req;
+  req.op = instr.sync_op;
+  req.addr = instr.addr;
+  req.arg = instr.sync_arg;
+  req.arg2 = instr.sync_arg2;
+  req.core = core;
+  req.slot = idx;
+  req.issued_at = eq_.now();
+  req.grant = [this, engine](const sync::SyncRequest& r, sim::Cycle) {
+    SendLocal(engine, r.core, 8, {}, 0, kSyncResp,
+              [this, core = r.core, slot = r.slot](const noc::Packet&, sim::Cycle) {
+                if (ObsOn()) {
+                  opts_.obs->sink.Instant("ndc.sync.grant", eq_.now(), core, 0);
+                }
+                cores_[static_cast<std::size_t>(core)]->Complete(slot, eq_.now());
+              });
+  };
+  SendLocal(core, engine, 8, {}, 0, kSyncReq,
+            [this, engine, req = std::move(req)](const noc::Packet&, sim::Cycle) mutable {
+              sync_->Enqueue(engine, std::move(req));
+            });
 }
 
 // ---------------------------------------------------------------------------
@@ -930,6 +967,7 @@ void Machine::MaterializeStats() {
   retries_.MaterializeInto(stats_, "ndc.retries");
   degraded_.MaterializeInto(stats_, "ndc.degraded_to_host");
   incomplete_cores_.MaterializeInto(stats_, "run.incomplete_cores");
+  sync_->MaterializeInto(stats_);  // keys appear only when sync ran
   for (int l = 0; l < arch::kNumLocs; ++l) {
     std::uint64_t v = ndc_at_loc_[static_cast<std::size_t>(l)];
     if (v > 0) stats_.Add(std::string("ndc.at.") + arch::LocName(static_cast<Loc>(l)), v);
@@ -978,6 +1016,13 @@ fault::ConservationInputs Machine::GatherConservation() const {
     in.mc_nacks += m->nacks_count();
     in.mc_nack_retries += m->nack_retries_count();
   }
+  const sync::SyncStats& ss = sync_->stats();
+  in.sync_acquires = ss.lock_acquires;
+  in.sync_releases = ss.lock_releases;
+  in.sync_barrier_arrivals = ss.barrier_arrivals;
+  in.sync_barrier_departures = ss.barrier_departures;
+  in.sync_atomics_issued = ss.atomics_issued;
+  in.sync_atomics_completed = ss.atomics_completed;
   return in;
 }
 

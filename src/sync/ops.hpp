@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ndc::sync {
+
+/// Synchronization operations served by the per-slice sync engines
+/// (SynCron-style: dedicated low-latency synchronization units colocated
+/// with the LLC slices / NDC nodes). Each op is carried by one 8-byte NoC
+/// request packet and answered by one 8-byte response packet.
+enum class SyncOp : std::uint8_t {
+  kBarrierArrive,  ///< arrive at barrier `addr`; granted when arg peers arrived
+  kLockAcquire,    ///< take a ticket for the lock at `addr`; granted in order
+  kLockRelease,    ///< release the lock at `addr` (arg = guarded RMW delta)
+  kAtomicAdd,      ///< remote fetch-add: value[addr] += arg
+  kAtomicCas,      ///< remote CAS: if value[addr] == arg then value[addr] = arg2
+  kPost,           ///< increment the post counter at `addr`
+  kWait,           ///< granted once post counter at `addr` >= arg
+};
+
+inline const char* SyncOpName(SyncOp op) {
+  switch (op) {
+    case SyncOp::kBarrierArrive: return "barrier";
+    case SyncOp::kLockAcquire: return "acquire";
+    case SyncOp::kLockRelease: return "release";
+    case SyncOp::kAtomicAdd: return "fetch-add";
+    case SyncOp::kAtomicCas: return "cas";
+    case SyncOp::kPost: return "post";
+    case SyncOp::kWait: return "wait";
+  }
+  return "?";
+}
+
+inline bool IsAtomicOp(SyncOp op) {
+  return op == SyncOp::kAtomicAdd || op == SyncOp::kAtomicCas;
+}
+
+}  // namespace ndc::sync

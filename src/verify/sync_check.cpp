@@ -1,0 +1,171 @@
+#include "verify/sync_check.hpp"
+
+#include <sstream>
+
+#include "analysis/dependence.hpp"
+#include "analysis/parallelism.hpp"
+
+namespace ndc::verify {
+namespace {
+
+std::string ArrayName(const ir::Program& prog, int a) {
+  return a >= 0 && a < static_cast<int>(prog.arrays.size()) ? prog.array(a).name
+                                                            : std::to_string(a);
+}
+
+bool StmtUsesSync(const ir::Stmt& s) { return s.sync.kind != ir::SyncKind::kNone; }
+
+bool NestUsesSync(const ir::LoopNest& nest) {
+  if (nest.sync.kind != ir::SyncKind::kNone || nest.sync.barrier_after) return true;
+  for (const ir::Stmt& s : nest.body) {
+    if (StmtUsesSync(s)) return true;
+  }
+  return false;
+}
+
+const char* StmtSyncName(ir::SyncKind k) {
+  switch (k) {
+    case ir::SyncKind::kNdcAtomic: return "ndc-atomic";
+    case ir::SyncKind::kHostLock: return "host-lock";
+    case ir::SyncKind::kPostWait: return "post/wait";
+    case ir::SyncKind::kNone: break;
+  }
+  return "none";
+}
+
+/// True when the statement's lhs subscript ignores the iterator at `level`:
+/// every shard of that level then touches the very same elements, so a
+/// carried read-modify-write race exists regardless of how the dependence
+/// analyzer canonicalizes the (non-unique) distance of a rank-deficient
+/// subscript. This is the predicate that separates a genuinely shared
+/// accumulator (needs an atomic or a lock) from a per-shard one (private by
+/// construction, sync would be pure overhead).
+bool LhsSharedAcrossLevel(const ir::Stmt& stmt, int level) {
+  if (stmt.lhs.kind != ir::Operand::Kind::kAffine) return false;
+  const ir::IntMat& F = stmt.lhs.access.F;
+  if (level < 0 || level >= F.cols()) return false;
+  for (int r = 0; r < F.rows(); ++r) {
+    if (F.at(r, level) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void CheckSync(const ir::Program& prog, const VerifyOptions& opts, Report* report) {
+  (void)opts;
+  for (int n = 0; n < static_cast<int>(prog.nests.size()); ++n) {
+    const ir::LoopNest& nest = prog.nests[static_cast<std::size_t>(n)];
+    if (!NestUsesSync(nest)) continue;
+    if (nest.depth() == 0 || nest.body.empty()) continue;
+
+    // S501: sync lowering is only meaningful under a parallel annotation —
+    // a sequential nest has nothing to synchronize.
+    if (nest.parallel.level < 0) {
+      report->Add(Severity::kError, Code::kSyncOnUnannotatedNest,
+                  "nest lowers synchronization but carries no parallel annotation",
+                  n);
+      continue;
+    }
+    if (nest.parallel.level >= nest.depth()) continue;  // P406 owns this
+
+    // S506: structural checks on the sync array before any semantic audit.
+    if (nest.sync.kind == ir::SyncKind::kPostWait || nest.sync.barrier_after) {
+      const int sa = nest.sync.sync_array;
+      if (sa < 0 || sa >= static_cast<int>(prog.arrays.size())) {
+        report->Add(Severity::kError, Code::kSyncBadArray,
+                    "post/wait or barrier lowering names sync array " +
+                        std::to_string(sa) + " which does not exist",
+                    n, -1, 0, sa);
+        continue;
+      }
+      if (prog.array(sa).dims.size() != 1 || prog.array(sa).dims[0] < 1) {
+        report->Add(Severity::kError, Code::kSyncBadArray,
+                    "sync array " + ArrayName(prog, sa) +
+                        " must be one-dimensional and non-empty",
+                    n, -1, 0, sa);
+        continue;
+      }
+    }
+
+    analysis::Classification cls = analysis::ClassifyNest(prog, nest);
+    if (cls.has_unknown) continue;  // P403 owns unanalyzable nests
+    const analysis::LevelClass& lc = cls.level(nest.parallel.level);
+
+    // --- Statement-level sync: atomics and lock-guarded RMWs must each
+    // discharge a reduction obligation the classifier recognized on a
+    // genuinely shared accumulator (S502), and every shared-accumulator
+    // obligation in a sync nest must be discharged (S503). The obligation
+    // source is the classifier's reduction recognition, not the per-level
+    // obligation list: a shard-invariant subscript has no unique carried
+    // distance, so the canonical distance may land at an inner level even
+    // though every shard hammers the same cells.
+    for (int s = 0; s < static_cast<int>(nest.body.size()); ++s) {
+      const ir::Stmt& stmt = nest.body[static_cast<std::size_t>(s)];
+      const bool is_red = [&] {
+        for (const analysis::Reduction& r : cls.reductions) {
+          if (r.stmt == s) return true;
+        }
+        return false;
+      }();
+      const bool shared = is_red && LhsSharedAcrossLevel(stmt, nest.parallel.level);
+      if (stmt.sync.kind == ir::SyncKind::kNdcAtomic ||
+          stmt.sync.kind == ir::SyncKind::kHostLock) {
+        if (!shared) {
+          std::ostringstream os;
+          os << StmtSyncName(stmt.sync.kind) << " lowering on stmt " << s
+             << " discharges no classifier obligation: the statement is not a "
+                "recognized reduction on an accumulator shared across level "
+             << nest.parallel.level;
+          report->Add(Severity::kError, Code::kSyncWithoutObligation, os.str(), n, s,
+                      stmt.id);
+        }
+      } else if (shared) {
+        std::ostringstream os;
+        os << "sync-lowered nest leaves the shared-accumulator reduction on stmt "
+           << s << " unsynchronized: concurrent read-modify-writes race";
+        report->Add(Severity::kError, Code::kSyncMissingOnObligation, os.str(), n, s,
+                    stmt.id);
+      }
+    }
+
+    // --- Nest-level post/wait: must target a proven DOACROSS level with a
+    // matching witness distance (S504/S505), and must actually order every
+    // dependence the level carries (S507).
+    if (nest.sync.kind == ir::SyncKind::kPostWait) {
+      if (lc.kind != analysis::LevelKind::kDoacross || !lc.witness_valid) {
+        report->Add(Severity::kError, Code::kPostWaitNotDoacross,
+                    "post/wait lowering on level " +
+                        std::to_string(nest.parallel.level) +
+                        " but the classifier proves no DOACROSS dependence there",
+                    n);
+        continue;
+      }
+      if (nest.sync.distance <= 0 || nest.sync.distance != lc.min_distance) {
+        std::ostringstream os;
+        os << "declared post/wait distance " << nest.sync.distance
+           << " does not match the witness min carried distance " << lc.min_distance;
+        report->Add(Severity::kError, Code::kPostWaitDistanceMismatch, os.str(), n,
+                    lc.witness.from_stmt, 0, lc.witness.array);
+        continue;
+      }
+      analysis::DependenceSet deps = analysis::AnalyzeDependences(prog, nest);
+      for (const analysis::Dependence& d : deps.deps) {
+        if (!d.distance_known || d.distance.empty() || d.distance[0] == 0) continue;
+        bool covered = d.distance[0] > 0 && d.distance[0] % nest.sync.distance == 0;
+        for (std::size_t i = 1; covered && i < d.distance.size(); ++i) {
+          covered = d.distance[i] >= 0;
+        }
+        if (covered) continue;
+        std::ostringstream os;
+        os << "carried dependence S" << d.from_stmt << "->S" << d.to_stmt << " on "
+           << ArrayName(prog, d.array) << " with outer distance " << d.distance[0]
+           << " is not ordered by post/wait at distance " << nest.sync.distance;
+        report->Add(Severity::kError, Code::kPostWaitUncoveredDependence, os.str(), n,
+                    d.from_stmt, 0, d.array);
+      }
+    }
+  }
+}
+
+}  // namespace ndc::verify

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "ir/program.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/verify_options.hpp"
+
+namespace ndc::verify {
+
+/// Synchronization audit (S5xx). Every sync construct the code generator
+/// will lower — NDC-side atomics, lock-guarded host RMWs, post/wait chains —
+/// must discharge an obligation the parallelism classifier actually proved,
+/// and every obligation in a sync-lowered nest must be discharged by some
+/// sync construct. Post/wait distances are checked against the carried
+/// dependences they claim to order: a dependence whose distance is not a
+/// multiple of the declared post/wait distance is unordered no matter how
+/// many posts fire, and is reported as an error rather than silently raced.
+void CheckSync(const ir::Program& prog, const VerifyOptions& opts, Report* report);
+
+}  // namespace ndc::verify
