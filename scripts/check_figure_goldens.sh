@@ -5,12 +5,16 @@
 # substrate change altered simulated behaviour, not just its speed.
 #
 # Usage: check_figure_goldens.sh NDC_SWEEP [GOLDEN_DIR] [JOBS]
+# Env:   NDC_SWEEP_EXTRA_ARGS — extra flags appended to every ndc-sweep
+#        invocation (e.g. "--classify"); the goldens must still match, which
+#        is exactly how CI proves classification never touches stdout.
 # Exit:  0 all identical, 1 at least one diff, 2 usage errors.
 set -u
 
 NDC_SWEEP="${1:?usage: check_figure_goldens.sh NDC_SWEEP [GOLDEN_DIR] [JOBS]}"
 GOLDEN_DIR="${2:-$(dirname "$0")/../tests/goldens}"
 JOBS="${3:-$(nproc)}"
+EXTRA_ARGS="${NDC_SWEEP_EXTRA_ARGS:-}"
 
 [ -x "$NDC_SWEEP" ] || { echo "check_figure_goldens: $NDC_SWEEP not executable" >&2; exit 2; }
 [ -d "$GOLDEN_DIR" ] || { echo "check_figure_goldens: $GOLDEN_DIR not a directory" >&2; exit 2; }
@@ -29,8 +33,10 @@ for f in $FIGURES; do
     continue
   fi
   # --jobs only parallelizes within a figure; cell order (and thus stdout)
-  # is spec-order regardless of worker count.
-  if ! "$NDC_SWEEP" --figure="$f" --scale=test --jobs="$JOBS" --no-cache \
+  # is spec-order regardless of worker count. $EXTRA_ARGS is word-split on
+  # purpose (it carries whole flags).
+  # shellcheck disable=SC2086
+  if ! "$NDC_SWEEP" --figure="$f" --scale=test --jobs="$JOBS" --no-cache $EXTRA_ARGS \
       > "$tmp/$f.stdout" 2>/dev/null; then
     echo "FAIL  $f: ndc-sweep exited non-zero" >&2
     fail=1

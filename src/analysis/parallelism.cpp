@@ -90,10 +90,6 @@ std::pair<Int, Int> FootprintSpan(const LinFootprint& f,
   return {mn, mx};
 }
 
-int OperandArray(const ir::Operand& op) {
-  return op.kind == ir::Operand::Kind::kIndirect ? op.target_array : op.access.array;
-}
-
 const ir::Operand* SlotOperand(const ir::Stmt& st, RefSlot slot) {
   switch (slot) {
     case RefSlot::kLhs: return &st.lhs;

@@ -22,6 +22,10 @@ void Core::SetTrace(Trace trace) {
   issued_this_cycle_ = 0;
   finish_cycle_ = 0;
   retry_scheduled_ = false;
+  if (stall_tracking_) dispatch_cycle_.assign(trace_.size(), sim::kNeverCycle);
+  stall_mem_ = 0;
+  stall_sync_ = 0;
+  busy_compute_ = 0;
 }
 
 void Core::Start() {
@@ -36,6 +40,21 @@ void Core::Complete(std::uint32_t idx, sim::Cycle when) {
   complete_flag_[idx] = true;
   done_[idx] = when;
   ++completed_;
+  if (stall_tracking_ && idx < dispatch_cycle_.size() &&
+      dispatch_cycle_[idx] != sim::kNeverCycle) {
+    sim::Cycle d = dispatch_cycle_[idx];
+    std::uint64_t exposure = when > d ? when - d : 0;
+    switch (trace_[idx].kind) {
+      case Instr::Kind::kLoad: stall_mem_ += exposure; break;
+      case Instr::Kind::kSync: stall_sync_ += exposure; break;
+      case Instr::Kind::kCompute:
+        // Off-core (external) computes are the NDC engine's busy time, not
+        // the host ALU's; they are attributed via ndc.success instead.
+        if (!external_[idx]) busy_compute_ += cfg_->compute_latency;
+        break;
+      default: break;
+    }
+  }
   if (trace_[idx].kind == Instr::Kind::kLoad) --outstanding_loads_;
   finish_cycle_ = std::max(finish_cycle_, when);
   // Wake dependents that were dispatched while waiting on this slot.
@@ -127,6 +146,7 @@ void Core::TryDispatch() {
 void Core::DispatchSlot(std::uint32_t idx) {
   const Instr& in = trace_[idx];
   dispatched_[idx] = true;
+  if (stall_tracking_ && idx < dispatch_cycle_.size()) dispatch_cycle_[idx] = eq_.now();
   issued_ctr_.Add();
   sim::Cycle ready;
   switch (in.kind) {

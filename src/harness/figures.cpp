@@ -518,21 +518,44 @@ const FigureEntry kFigures[] = {
      &RenderSmoke, nullptr},
 };
 
-/// `--export-obs`: re-runs every grid cell with an observation bundle and
-/// writes one stage-latency/decision summary JSON per cell. Deliberately
-/// outside the cached sweep — traced runs must never populate (or read) the
-/// scalar result cache.
-void ExportObsSummaries(const SweepSpec& spec, const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    std::fprintf(stderr, "ndc-harness: cannot create %s: %s\n", dir.c_str(),
-                 ec.message().c_str());
-    return;
+/// `--export-obs` / `--classify`: re-runs every grid cell with an
+/// observation bundle and writes one stage-latency/decision summary JSON per
+/// cell (when `dir` is non-empty) and/or one classification JSONL line per
+/// cell to stderr (when `classify_window` > 0). Deliberately outside the
+/// cached sweep — traced runs must never populate (or read) the scalar
+/// result cache. One re-simulation per cell serves both surfaces.
+void ExportObsSummaries(const SweepSpec& spec, const std::string& dir,
+                        std::uint64_t classify_window) {
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "ndc-harness: cannot create %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return;
+    }
   }
   for (std::size_t i = 0; i < spec.cells.size(); ++i) {
     const CellSpec& c = spec.cells[i];
-    json::Value v = RunCellObsSummary(c);
+    json::Value v = RunCellObsSummary(c, 1, classify_window);
+    if (classify_window > 0) {
+      // Compact stderr line: label + derived fractions only (the window
+      // series lives in the --export-obs files); stdout stays golden.
+      json::Value line = json::Value::Object();
+      line.obj["figure"] = json::Value::Str(spec.figure);
+      line.obj["workload"] = json::Value::Str(c.workload);
+      line.obj["scheme"] = json::Value::Str(c.SchemeLabel());
+      if (!c.variant.empty()) line.obj["variant"] = json::Value::Str(c.variant);
+      const json::Value* cl = v.Find("classification");
+      if (cl != nullptr) {
+        if (const json::Value* label = cl->Find("label")) line.obj["label"] = *label;
+        if (const json::Value* der = cl->Find("derived")) line.obj["signals"] = *der;
+      } else {
+        line.obj["obs_enabled"] = json::Value::Bool(obs::kObsEnabled);
+      }
+      std::fprintf(stderr, "%s\n", json::Dump(line).c_str());
+    }
+    if (dir.empty()) continue;
     char idx[24];  // wide enough for any 64-bit index, silencing -Wformat-truncation
     std::snprintf(idx, sizeof(idx), "%03zu", i);
     std::string path = dir + "/" + spec.figure + "_" + idx + "_" + c.workload + "_" +
@@ -589,7 +612,9 @@ int RunFigure(const std::string& name, const FigureOptions& opt, SweepSummary* s
       if (!opt.export_csv.empty() && !ExportCsv(spec, res, opt.export_csv)) {
         std::fprintf(stderr, "ndc-harness: cannot write %s\n", opt.export_csv.c_str());
       }
-      if (!opt.export_obs.empty()) ExportObsSummaries(spec, opt.export_obs);
+      if (!opt.export_obs.empty() || opt.classify_window > 0) {
+        ExportObsSummaries(spec, opt.export_obs, opt.classify_window);
+      }
       s = res.summary;
     } else {
       if (!opt.faults.Empty()) {

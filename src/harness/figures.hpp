@@ -35,6 +35,14 @@ struct FigureOptions {
   /// are re-simulated with tracing attached (never cached) and one JSON file
   /// per cell is written: <figure>_<idx>_<workload>_<scheme>.json.
   std::string export_obs;
+  /// Phase-window width for bottleneck classification (0 = off). When set,
+  /// grid cells are re-simulated with the sampler attached — outside the
+  /// result cache, same contract as export_obs — and one classification
+  /// JSONL line per cell (label + derived signal vector) goes to stderr;
+  /// stdout tables stay byte-identical to unclassified runs. With
+  /// export_obs also set, the per-cell summary files carry the full
+  /// "classification" object (one re-simulation serves both).
+  std::uint64_t classify_window = 0;
   /// Fault schedule stamped onto every grid cell (default: empty =
   /// fault-free; record figures always run fault-free). Faulted cells carry
   /// the schedule in their cache key, so they never collide with — or

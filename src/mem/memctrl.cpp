@@ -23,6 +23,7 @@ void MemCtrl::RegisterMetrics(obs::Registry& reg) {
   m_reads_ = reg.counter(prefix + "reads");
   m_row_hits_ = reg.counter(prefix + "row_hits");
   m_queue_wait_ = reg.histogram(prefix + "queue_wait_cycles");
+  m_queue_wait_total_ = reg.counter(prefix + "queue_wait_total");
 }
 
 void MemCtrl::EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done,
@@ -152,6 +153,13 @@ void MemCtrl::IssueTo(int bank_idx, Request req) {
   if constexpr (obs::kObsEnabled) {
     if (m_row_hits_ != nullptr && row_hit) m_row_hits_->Add();
     if (m_queue_wait_ != nullptr) m_queue_wait_->Add(eq_.now() - req.enqueued_at);
+    if (m_queue_wait_total_ != nullptr) {
+      m_queue_wait_total_->Add(eq_.now() - req.enqueued_at);
+    }
+    if (sampler_ != nullptr) {
+      sampler_->Note(obs::Signal::kDramAccess, eq_.now(), 1);
+      sampler_->Note(obs::Signal::kMcQueueWait, eq_.now(), eq_.now() - req.enqueued_at);
+    }
     if (tracer_ != nullptr && req.obs_token != 0) {
       tracer_->Stamp(req.obs_token, obs::Stage::kMcIssue, eq_.now());
       tracer_->NoteRowHit(req.obs_token, row_hit);

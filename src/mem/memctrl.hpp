@@ -11,6 +11,7 @@
 #include "mem/dram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/request_trace.hpp"
+#include "obs/sampler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -111,8 +112,13 @@ class MemCtrl {
   /// Traced reads stamp FR-FCFS issue and DRAM-ready on `tracer` (may be null).
   void set_request_tracer(obs::RequestTracer* tracer) { tracer_ = tracer; }
 
-  /// Registers this controller's counters ("mc.<id>/reads", ...) and its
-  /// queue-wait histogram under `reg`; handles are pre-resolved.
+  /// Phase-window sampler for access/queue-wait deltas (may be null).
+  /// Passive: a disabled or absent sampler leaves scheduling untouched.
+  void set_sampler(obs::WindowSampler* sampler) { sampler_ = sampler; }
+
+  /// Registers this controller's counters ("mc.<id>/reads", ...), its
+  /// queue-wait histogram, and the queue-wait running total under `reg`;
+  /// handles are pre-resolved.
   void RegisterMetrics(obs::Registry& reg);
 
   const DramBank& bank(int i) const { return banks_[static_cast<std::size_t>(i)]; }
@@ -169,9 +175,11 @@ class MemCtrl {
   /// piling up one wake event per scheduling attempt during a stall).
   std::vector<sim::Cycle> bank_wake_until_;
   obs::RequestTracer* tracer_ = nullptr;
+  obs::WindowSampler* sampler_ = nullptr;
   obs::Counter* m_reads_ = nullptr;
   obs::Counter* m_row_hits_ = nullptr;
   obs::Histogram* m_queue_wait_ = nullptr;
+  obs::Counter* m_queue_wait_total_ = nullptr;
   sim::RawCounter reads_, writes_, row_hits_, row_misses_, queue_wait_cycles_;
   // Fault counters: touched only when a fault hook fires, so their StatSet
   // keys never appear in fault-free runs (goldens frozen).

@@ -15,8 +15,10 @@ Network::Network(Mesh mesh, sim::EventQueue& eq, NetworkParams params)
 void Network::RegisterMetrics(obs::Registry& reg) {
   if constexpr (!obs::kObsEnabled) return;
   link_traversals_.assign(static_cast<std::size_t>(mesh_.num_link_slots()), nullptr);
+  link_busy_.assign(static_cast<std::size_t>(mesh_.num_link_slots()), nullptr);
   for (std::size_t i = 0; i < link_traversals_.size(); ++i) {
     link_traversals_[i] = reg.counter("noc.link." + std::to_string(i) + "/traversals");
+    link_busy_[i] = reg.counter("noc.link." + std::to_string(i) + "/busy_cycles");
   }
 }
 
@@ -135,6 +137,10 @@ void Network::Traverse(Flight* f, sim::LinkId link) {
     }
     if (!link_traversals_.empty()) {
       link_traversals_[static_cast<std::size_t>(link)]->Add();
+      link_busy_[static_cast<std::size_t>(link)]->Add(ser);
+    }
+    if (sampler_ != nullptr) {
+      sampler_->Note(obs::Signal::kNocBusy, depart, ser);
     }
   }
   p.hop++;

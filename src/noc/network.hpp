@@ -10,6 +10,7 @@
 #include "noc/routing.hpp"
 #include "obs/metrics.hpp"
 #include "obs/request_trace.hpp"
+#include "obs/sampler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 
@@ -104,7 +105,12 @@ class Network {
   /// Traced packets report each link traversal to `tracer` (may be null).
   void set_request_tracer(obs::RequestTracer* tracer) { tracer_ = tracer; }
 
-  /// Registers per-link traversal counters ("noc.link.<id>/traversals") and
+  /// Phase-window sampler for link-busy deltas (may be null). Passive: a
+  /// disabled or absent sampler leaves traversal timing untouched.
+  void set_sampler(obs::WindowSampler* sampler) { sampler_ = sampler; }
+
+  /// Registers per-link traversal and busy-cycle counters
+  /// ("noc.link.<id>/traversals", "noc.link.<id>/busy_cycles") and
   /// network-wide counters under `reg`. Handles are resolved once here; the
   /// hot path bumps pointers only.
   void RegisterMetrics(obs::Registry& reg);
@@ -164,7 +170,9 @@ class Network {
   HopHook hop_hook_;
   LinkFaultFn link_fault_;
   obs::RequestTracer* tracer_ = nullptr;
+  obs::WindowSampler* sampler_ = nullptr;
   std::vector<obs::Counter*> link_traversals_;  ///< per-link registry handles
+  std::vector<obs::Counter*> link_busy_;        ///< per-link busy-cycle handles
   std::vector<sim::Cycle> link_busy_until_;
   // Held packets occupy link-buffer slots; passing traffic pays a
   // per-held-packet delay (buffer pressure).

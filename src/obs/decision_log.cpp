@@ -31,7 +31,8 @@ const char* OutcomeName(Outcome o) {
 }
 
 void DecisionLog::Record(std::uint64_t uid, sim::NodeId core, std::uint32_t site,
-                         DecisionKind kind, std::int8_t planned_loc, sim::Cycle now) {
+                         DecisionKind kind, std::int8_t planned_loc, sim::Cycle now,
+                         std::uint32_t prior) {
   if (by_uid_.count(uid) != 0) return;
   by_uid_[uid] = entries_.size();
   DecisionEntry& e = entries_.emplace_back();
@@ -41,6 +42,7 @@ void DecisionLog::Record(std::uint64_t uid, sim::NodeId core, std::uint32_t site
   e.kind = kind;
   e.planned_loc = planned_loc;
   e.decided_at = now;
+  e.prior = prior;
   ++kind_counts_[static_cast<int>(kind)];
   if (kind == DecisionKind::kOffload) {
     e.outcome = Outcome::kUnresolved;
@@ -113,21 +115,26 @@ std::string DecisionLog::ToJsonl() const {
   std::string out;
   char line[256];
   for (const DecisionEntry& e : entries_) {
-    // `retries` is emitted only when consumed (faulted runs): fault-free
-    // decision JSONL stays byte-identical to the pre-fault format.
+    // `retries` is emitted only when consumed (faulted runs) and `prior`
+    // only when computed: decision JSONL without either stays
+    // byte-identical to the historical format.
     char retries[32] = "";
     if (e.retries != 0) {
       std::snprintf(retries, sizeof(retries), ",\"retries\":%u", e.retries);
     }
+    char prior[32] = "";
+    if (e.prior != 0) {
+      std::snprintf(prior, sizeof(prior), ",\"prior\":%u", e.prior);
+    }
     std::snprintf(line, sizeof(line),
                   "{\"uid\":%llu,\"core\":%d,\"site\":%u,\"kind\":\"%s\","
                   "\"planned_loc\":%d,\"decided_at\":%llu,\"outcome\":\"%s\","
-                  "\"met_loc\":%d,\"resolved_at\":%llu%s}\n",
+                  "\"met_loc\":%d,\"resolved_at\":%llu%s%s}\n",
                   static_cast<unsigned long long>(e.uid), static_cast<int>(e.core),
                   e.site, DecisionKindName(e.kind), static_cast<int>(e.planned_loc),
                   static_cast<unsigned long long>(e.decided_at), OutcomeName(e.outcome),
                   static_cast<int>(e.met_loc),
-                  static_cast<unsigned long long>(e.resolved_at), retries);
+                  static_cast<unsigned long long>(e.resolved_at), retries, prior);
     out += line;
   }
   return out;

@@ -4,6 +4,25 @@
 
 namespace ndc::obs {
 
+std::uint64_t Histogram::Percentile(double p) const {
+  if (h_.total() == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double target = p / 100.0;
+  const std::vector<std::uint64_t>& edges = h_.edges();
+  if (edges.empty()) return 1;  // degenerate: only an overflow bucket exists
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    cum += h_.count(i);
+    // Compare via counts, not CumulativeFraction, so ties at exact bucket
+    // boundaries never depend on floating-point rounding.
+    if (static_cast<double>(cum) >= target * static_cast<double>(h_.total())) {
+      return edges[i];
+    }
+  }
+  return edges.back() + 1;  // p-th sample lives in the overflow bucket
+}
+
 Counter* Registry::counter(const std::string& path) {
   Entry& e = metrics_[path];
   if (e.gauge != nullptr || e.histogram != nullptr) return nullptr;

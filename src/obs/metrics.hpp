@@ -58,6 +58,17 @@ class Histogram {
   void Add(std::uint64_t v, std::uint64_t w = 1) { h_.Add(v, w); }
   const sim::BucketHistogram& hist() const { return h_; }
 
+  /// Bucketed percentile: the smallest edge e with >= p% of samples <= e.
+  /// The histogram keeps no raw samples, so the answer is an edge, never an
+  /// interpolated value. An empty histogram reports 0; when the p-th sample
+  /// sits in the overflow bucket (above every edge) the report is
+  /// edges.back() + 1 — the "500+" marker, strictly above the last edge.
+  std::uint64_t Percentile(double p) const;
+
+  /// Adds another histogram's counts into this one. The bucket edges must
+  /// match (same contract as sim::BucketHistogram::MergeFrom).
+  void MergeFrom(const Histogram& other) { h_.MergeFrom(other.h_); }
+
  private:
   sim::BucketHistogram h_;
 };

@@ -123,6 +123,11 @@ void SyncManager::Execute(SyncRequest&& req) {
 
 void SyncManager::Grant(const SyncRequest& req) {
   stats_.stall_cycles += eq_.now() - req.issued_at;
+  if constexpr (obs::kObsEnabled) {
+    if (sampler_ != nullptr) {
+      sampler_->Note(obs::Signal::kSyncStall, eq_.now(), eq_.now() - req.issued_at);
+    }
+  }
   req.grant(req, eq_.now());
 }
 

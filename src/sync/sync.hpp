@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -80,6 +81,10 @@ class SyncManager {
   /// recorded under "sync/engine.<node>/queue_wait".
   void set_registry(obs::Registry* reg) { reg_ = reg; }
 
+  /// Phase-window sampler for stall deltas noted at grant time (may be
+  /// null). Passive: never changes grant order or timing.
+  void set_sampler(obs::WindowSampler* sampler) { sampler_ = sampler; }
+
   /// True once any request was enqueued (keys stats out of sync-free runs).
   bool used() const { return used_; }
 
@@ -124,6 +129,7 @@ class SyncManager {
   bool used_ = false;
   SyncStats stats_;
   obs::Registry* reg_ = nullptr;
+  obs::WindowSampler* sampler_ = nullptr;
 };
 
 }  // namespace ndc::sync

@@ -27,6 +27,7 @@
 #include "compiler/pipeline.hpp"
 #include "metrics/experiment.hpp"
 #include "obs/obs.hpp"
+#include "workloads/sharded.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -137,6 +138,11 @@ TraceArgs Parse(int argc, char** argv) {
 
 bool KnownWorkload(const std::string& name) {
   for (const std::string& w : ndc::workloads::BenchmarkNames()) {
+    if (w == name) return true;
+  }
+  // The sharded (shard.*) family is where the sync instants live; Experiment
+  // routes these names like any benchmark.
+  for (const std::string& w : ndc::workloads::ShardedNames()) {
     if (w == name) return true;
   }
   return false;
