@@ -48,7 +48,7 @@ struct ClassifyBenchArgs {
 [[noreturn]] void UsageAndExit(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--scale=test|small|full] [--bench=NAME]\n"
-               "         [--cores=K1,K2,...] [--window=CYCLES] [--json=FILE]\n",
+               "         [--cores=K1,K2,...] [--window=CYCLES] [--json=FILE|--out=FILE]\n",
                prog);
   std::exit(2);
 }
@@ -83,6 +83,10 @@ ClassifyBenchArgs Parse(int argc, char** argv) {
       a.window = n;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       a.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      // Alias of --json: the BENCH_*.json contract (EXPERIMENTS.md) spells
+      // the report path --out=FILE across every bench binary.
+      a.json_path = arg + 6;
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], arg);
       UsageAndExit(argv[0]);

@@ -51,7 +51,7 @@ struct SyncArgs {
 [[noreturn]] void UsageAndExit(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--scale=test|small|full] [--bench=NAME]\n"
-               "         [--cores=K1,K2,...] [--json=FILE]\n",
+               "         [--cores=K1,K2,...] [--json=FILE|--out=FILE]\n",
                prog);
   std::exit(2);
 }
@@ -81,6 +81,10 @@ SyncArgs Parse(int argc, char** argv) {
       if (a.cores.empty()) UsageAndExit(argv[0]);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       a.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      // Alias of --json: the BENCH_*.json contract (EXPERIMENTS.md) spells
+      // the report path --out=FILE across every bench binary.
+      a.json_path = arg + 6;
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], arg);
       UsageAndExit(argv[0]);

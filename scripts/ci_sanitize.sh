@@ -1,22 +1,60 @@
 #!/usr/bin/env bash
-# Builds and runs the full test suite (plus ndc-lint, which is registered
-# with ctest) under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Builds and runs tests under a sanitizer.
 #
-# Usage: scripts/ci_sanitize.sh [build-dir]   (default: build-sanitize)
+#   address (default): ASan + UBSan over the full ctest suite (plus
+#     ndc-lint, which is registered with ctest).
+#   thread: TSan over the parallel-simulation surfaces — the sharded
+#     event-queue tests, the machine-level PDES tests, the harness pool
+#     tests, and one multi-threaded figure regeneration (ndc-sweep fig04 at
+#     --sim-threads=8 on top of a parallel sweep pool).
+#
+# Usage: scripts/ci_sanitize.sh [address|thread] [build-dir]
+#        (default build-dir: build-sanitize for address, build-tsan for thread)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build-sanitize}"
+MODE="${1:-address}"
+case "$MODE" in
+  address) BUILD_DIR="${2:-build-sanitize}" ;;
+  thread)  BUILD_DIR="${2:-build-tsan}" ;;
+  *)
+    # Back-compat: a lone non-mode argument is an address-mode build dir.
+    BUILD_DIR="$MODE"
+    MODE="address"
+    ;;
+esac
+
+SANITIZE_VALUE="ON"
+if [ "$MODE" = "thread" ]; then SANITIZE_VALUE="thread"; fi
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DNDC_SANITIZE=ON \
+  -DNDC_SANITIZE="$SANITIZE_VALUE" \
   -DNDC_WERROR=ON
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+if [ "$MODE" = "thread" ]; then
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target pdes_test pdes_machine_test harness_test ndc-sweep
+else
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+fi
 
-# halt_on_error makes ASan/UBSan findings fail the ctest run instead of
-# printing and continuing.
+# halt_on_error makes sanitizer findings fail the run instead of printing
+# and continuing.
 export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export TSAN_OPTIONS="halt_on_error=1"
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+if [ "$MODE" = "thread" ]; then
+  "$BUILD_DIR"/tests/pdes_test
+  "$BUILD_DIR"/tests/pdes_machine_test
+  "$BUILD_DIR"/tests/harness_test
+  # One multi-threaded figure end-to-end: shard workers and sweep workers
+  # composed. stdout must be byte-identical across parallel thread counts.
+  "$BUILD_DIR"/tools/ndc-sweep --figure=fig04 --scale=test --no-cache \
+    --jobs=2 --sim-threads=2 > "$BUILD_DIR/fig04-t2.txt" 2>/dev/null
+  "$BUILD_DIR"/tools/ndc-sweep --figure=fig04 --scale=test --no-cache \
+    --jobs=2 --sim-threads=8 > "$BUILD_DIR/fig04-t8.txt" 2>/dev/null
+  diff -u "$BUILD_DIR/fig04-t2.txt" "$BUILD_DIR/fig04-t8.txt"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi

@@ -6,7 +6,7 @@
 namespace ndc::arch {
 
 Core::Core(sim::NodeId id, const ArchConfig& cfg, sim::EventQueue& eq, MemoryPort& port)
-    : id_(id), cfg_(&cfg), eq_(eq), port_(port) {}
+    : id_(id), cfg_(&cfg), eq_(&eq), port_(port) {}
 
 void Core::SetTrace(Trace trace) {
   trace_ = std::move(trace);
@@ -29,7 +29,7 @@ void Core::SetTrace(Trace trace) {
 }
 
 void Core::Start() {
-  eq_.ScheduleAfter(0, [this] { TryDispatch(); });
+  eq_->ScheduleAfter(0, [this] { TryDispatch(); });
 }
 
 void Core::MarkExternal(std::uint32_t idx) { external_[idx] = true; }
@@ -61,15 +61,15 @@ void Core::Complete(std::uint32_t idx, sim::Cycle when) {
   std::vector<std::uint32_t> waiters = std::move(dependents_[idx]);
   dependents_[idx].clear();
   for (std::uint32_t w : waiters) ResolveWaiter(w);
-  if (when > eq_.now()) {
-    eq_.ScheduleAt(when, [this] { TryDispatch(); });
+  if (when > eq_->now()) {
+    eq_->ScheduleAt(when, [this] { TryDispatch(); });
   } else {
     TryDispatch();
   }
 }
 
 bool Core::DepsDone(const Instr& in, sim::Cycle* ready_at) const {
-  sim::Cycle ready = eq_.now();
+  sim::Cycle ready = eq_->now();
   for (std::int32_t dep : {in.dep0, in.dep1}) {
     if (dep < 0) continue;
     sim::Cycle d = done_[static_cast<std::size_t>(dep)];
@@ -105,14 +105,14 @@ void Core::ScheduleRetry(sim::Cycle at) {
   if (retry_scheduled_ && retry_cycle_ <= at) return;
   retry_scheduled_ = true;
   retry_cycle_ = at;
-  eq_.ScheduleAt(at, [this] {
+  eq_->ScheduleAt(at, [this] {
     retry_scheduled_ = false;
     TryDispatch();
   });
 }
 
 void Core::TryDispatch() {
-  sim::Cycle now = eq_.now();
+  sim::Cycle now = eq_->now();
   if (now != last_issue_cycle_) {
     last_issue_cycle_ = now;
     issued_this_cycle_ = 0;
@@ -146,7 +146,7 @@ void Core::TryDispatch() {
 void Core::DispatchSlot(std::uint32_t idx) {
   const Instr& in = trace_[idx];
   dispatched_[idx] = true;
-  if (stall_tracking_ && idx < dispatch_cycle_.size()) dispatch_cycle_[idx] = eq_.now();
+  if (stall_tracking_ && idx < dispatch_cycle_.size()) dispatch_cycle_[idx] = eq_->now();
   issued_ctr_.Add();
   sim::Cycle ready;
   switch (in.kind) {

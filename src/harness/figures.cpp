@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
 
+#include "harness/pool.hpp"
 #include "sim/stats.hpp"
 
 namespace ndc::harness {
@@ -525,7 +528,7 @@ const FigureEntry kFigures[] = {
 /// cached sweep — traced runs must never populate (or read) the scalar
 /// result cache. One re-simulation per cell serves both surfaces.
 void ExportObsSummaries(const SweepSpec& spec, const std::string& dir,
-                        std::uint64_t classify_window) {
+                        std::uint64_t classify_window, int jobs) {
   if (!dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -535,7 +538,14 @@ void ExportObsSummaries(const SweepSpec& spec, const std::string& dir,
       return;
     }
   }
-  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+  // Re-simulate cells in parallel (each is self-contained, same contract as
+  // the cached sweep), but buffer every cell's rendered output and emit it
+  // serially in cell order afterwards: the classification JSONL stream and
+  // the summary files are byte-identical for any --jobs value.
+  const std::size_t n = spec.cells.size();
+  std::vector<std::string> summaries(n);
+  std::vector<std::string> lines(n);
+  WorkStealingPool::ParallelFor(jobs, n, [&](std::size_t i) {
     const CellSpec& c = spec.cells[i];
     json::Value v = RunCellObsSummary(c, 1, classify_window);
     if (classify_window > 0) {
@@ -553,8 +563,13 @@ void ExportObsSummaries(const SweepSpec& spec, const std::string& dir,
       } else {
         line.obj["obs_enabled"] = json::Value::Bool(obs::kObsEnabled);
       }
-      std::fprintf(stderr, "%s\n", json::Dump(line).c_str());
+      lines[i] = json::Dump(line);
     }
+    if (!dir.empty()) summaries[i] = json::Dump(v);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    const CellSpec& c = spec.cells[i];
+    if (classify_window > 0) std::fprintf(stderr, "%s\n", lines[i].c_str());
     if (dir.empty()) continue;
     char idx[24];  // wide enough for any 64-bit index, silencing -Wformat-truncation
     std::snprintf(idx, sizeof(idx), "%03zu", i);
@@ -565,7 +580,7 @@ void ExportObsSummaries(const SweepSpec& spec, const std::string& dir,
       std::fprintf(stderr, "ndc-harness: cannot write %s\n", path.c_str());
       return;
     }
-    f << json::Dump(v) << "\n";
+    f << summaries[i] << "\n";
   }
 }
 
@@ -598,6 +613,9 @@ int RunFigure(const std::string& name, const FigureOptions& opt, SweepSummary* s
       if (!opt.faults.Empty()) {
         for (CellSpec& c : spec.cells) c.faults = opt.faults;
       }
+      if (opt.sim_threads != 1) {
+        for (CellSpec& c : spec.cells) c.sim_threads = opt.sim_threads;
+      }
       SweepOptions so;
       so.jobs = opt.jobs;
       so.use_cache = opt.use_cache;
@@ -613,7 +631,7 @@ int RunFigure(const std::string& name, const FigureOptions& opt, SweepSummary* s
         std::fprintf(stderr, "ndc-harness: cannot write %s\n", opt.export_csv.c_str());
       }
       if (!opt.export_obs.empty() || opt.classify_window > 0) {
-        ExportObsSummaries(spec, opt.export_obs, opt.classify_window);
+        ExportObsSummaries(spec, opt.export_obs, opt.classify_window, opt.jobs);
       }
       s = res.summary;
     } else {

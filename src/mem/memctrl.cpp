@@ -8,7 +8,7 @@ namespace ndc::mem {
 
 MemCtrl::MemCtrl(sim::McId id, const AddressMap& amap, const DramParams& dram_params,
                  sim::EventQueue& eq)
-    : id_(id), amap_(&amap), eq_(eq) {
+    : id_(id), amap_(&amap), eq_(&eq) {
   banks_.reserve(static_cast<std::size_t>(amap.banks_per_mc));
   for (int i = 0; i < amap.banks_per_mc; ++i) banks_.emplace_back(dram_params);
   bank_in_flight_.assign(banks_.size(), false);
@@ -35,7 +35,7 @@ void MemCtrl::EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done,
   r.bank = amap_->DramBank(addr);
   r.row = amap_->DramRow(addr);
   r.is_write = false;
-  r.enqueued_at = eq_.now();
+  r.enqueued_at = eq_->now();
   r.done = std::move(done);
   r.obs_token = obs_token;
   reads_.Add();
@@ -43,7 +43,7 @@ void MemCtrl::EnqueueRead(std::uint64_t tag, sim::Addr addr, DoneFn done,
     if (m_reads_ != nullptr) m_reads_->Add();
   }
   ++pending_read_addrs_[addr];
-  if (on_enqueue_) on_enqueue_(tag, addr, eq_.now());
+  if (on_enqueue_) on_enqueue_(tag, addr, eq_->now());
   Admit(std::move(r));
 }
 
@@ -54,9 +54,9 @@ void MemCtrl::EnqueueWrite(sim::Addr addr) {
   r.bank = amap_->DramBank(addr);
   r.row = amap_->DramRow(addr);
   r.is_write = true;
-  r.enqueued_at = eq_.now();
+  r.enqueued_at = eq_->now();
   writes_.Add();
-  if (on_enqueue_) on_enqueue_(kWriteSentinelTag, addr, eq_.now());
+  if (on_enqueue_) on_enqueue_(kWriteSentinelTag, addr, eq_->now());
   Admit(std::move(r));
 }
 
@@ -65,11 +65,11 @@ void MemCtrl::Admit(Request r) {
   // queue; the request is already visible upstream (pending-read index and
   // enqueue hooks fired at arrival), so NDC meeting checks are unaffected.
   if (pressure_) {
-    sim::Cycle extra = pressure_(eq_.now());
+    sim::Cycle extra = pressure_(eq_->now());
     if (extra > 0) {
       pressure_events_.Add();
       pressure_delay_cycles_.Add(extra);
-      eq_.ScheduleAfter(extra, [this, r = std::move(r)]() mutable {
+      eq_->ScheduleAfter(extra, [this, r = std::move(r)]() mutable {
         Enqueue(std::move(r));
       });
       return;
@@ -101,7 +101,7 @@ void MemCtrl::TrySchedule() {
     BankFault::Effect effect = BankFault::Effect::kNone;
     sim::Cycle nack_backoff = 0;
     if (bank_fault_) {
-      BankFault fault = bank_fault_(static_cast<int>(b), eq_.now());
+      BankFault fault = bank_fault_(static_cast<int>(b), eq_->now());
       effect = fault.effect;
       if (effect == BankFault::Effect::kStall) {
         // The bank issues nothing until the stall window ends; schedule one
@@ -109,7 +109,7 @@ void MemCtrl::TrySchedule() {
         bank_stall_events_.Add();
         if (bank_wake_until_[b] < fault.stall_until) {
           bank_wake_until_[b] = fault.stall_until;
-          eq_.ScheduleAt(fault.stall_until, [this] { TrySchedule(); });
+          eq_->ScheduleAt(fault.stall_until, [this] { TrySchedule(); });
         }
         continue;
       }
@@ -133,7 +133,7 @@ void MemCtrl::TrySchedule() {
       // NACK schedules exactly one retry.
       assert(nack_backoff > 0 && "a NACKed request needs a positive backoff");
       nacks_.Add();
-      eq_.ScheduleAfter(nack_backoff, [this, req = std::move(req)]() mutable {
+      eq_->ScheduleAfter(nack_backoff, [this, req = std::move(req)]() mutable {
         nack_retries_.Add();
         Enqueue(std::move(req));
       });
@@ -148,25 +148,25 @@ void MemCtrl::IssueTo(int bank_idx, Request req) {
   bank_in_flight_[b] = true;
   bool row_hit = banks_[b].IsRowOpen(req.row);
   (row_hit ? row_hits_ : row_misses_).Add();
-  sim::Cycle done_at = banks_[b].Access(eq_.now(), req.row);
-  queue_wait_cycles_.Add(eq_.now() - req.enqueued_at);
+  sim::Cycle done_at = banks_[b].Access(eq_->now(), req.row);
+  queue_wait_cycles_.Add(eq_->now() - req.enqueued_at);
   if constexpr (obs::kObsEnabled) {
     if (m_row_hits_ != nullptr && row_hit) m_row_hits_->Add();
-    if (m_queue_wait_ != nullptr) m_queue_wait_->Add(eq_.now() - req.enqueued_at);
+    if (m_queue_wait_ != nullptr) m_queue_wait_->Add(eq_->now() - req.enqueued_at);
     if (m_queue_wait_total_ != nullptr) {
-      m_queue_wait_total_->Add(eq_.now() - req.enqueued_at);
+      m_queue_wait_total_->Add(eq_->now() - req.enqueued_at);
     }
     if (sampler_ != nullptr) {
-      sampler_->Note(obs::Signal::kDramAccess, eq_.now(), 1);
-      sampler_->Note(obs::Signal::kMcQueueWait, eq_.now(), eq_.now() - req.enqueued_at);
+      sampler_->Note(obs::Signal::kDramAccess, eq_->now(), 1);
+      sampler_->Note(obs::Signal::kMcQueueWait, eq_->now(), eq_->now() - req.enqueued_at);
     }
     if (tracer_ != nullptr && req.obs_token != 0) {
-      tracer_->Stamp(req.obs_token, obs::Stage::kMcIssue, eq_.now());
+      tracer_->Stamp(req.obs_token, obs::Stage::kMcIssue, eq_->now());
       tracer_->NoteRowHit(req.obs_token, row_hit);
     }
   }
   in_service_[b] = std::move(req);
-  eq_.ScheduleAt(done_at, [this, bank_idx] { Complete(bank_idx); });
+  eq_->ScheduleAt(done_at, [this, bank_idx] { Complete(bank_idx); });
 }
 
 void MemCtrl::Complete(int bank_idx) {
@@ -180,12 +180,12 @@ void MemCtrl::Complete(int bank_idx) {
     assert(req.tag != kWriteSentinelTag && "read completed with the write sentinel tag");
     if constexpr (obs::kObsEnabled) {
       if (tracer_ != nullptr && req.obs_token != 0) {
-        tracer_->Stamp(req.obs_token, obs::Stage::kDramReady, eq_.now());
+        tracer_->Stamp(req.obs_token, obs::Stage::kDramReady, eq_->now());
       }
     }
     ++reads_done_;
-    if (on_ready_) on_ready_(req.tag, req.addr, eq_.now());
-    if (req.done) req.done(req.tag, eq_.now());
+    if (on_ready_) on_ready_(req.tag, req.addr, eq_->now());
+    if (req.done) req.done(req.tag, eq_->now());
   } else {
     assert(req.tag == kWriteSentinelTag && "write completed without the sentinel tag");
   }

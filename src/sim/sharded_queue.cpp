@@ -1,0 +1,194 @@
+#include "sim/sharded_queue.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace ndc::sim {
+
+namespace {
+
+/// Shard index of the window phase currently executing on this thread.
+/// -1 everywhere else (setup, merge phase, foreign threads). Thread-local
+/// so concurrently sweeping machines (each with its own sharded queue and
+/// worker pool) never observe each other.
+thread_local int tls_current_shard = -1;
+
+}  // namespace
+
+int ShardedEventQueue::CurrentShard() { return tls_current_shard; }
+
+ShardedEventQueue::ShardedEventQueue(int num_shards, Cycle lookahead)
+    : n_(num_shards), lookahead_(lookahead) {
+  assert(n_ >= 1);
+  assert(lookahead_ >= 1 && "a conservative window needs at least one cycle");
+  shards_.reserve(static_cast<std::size_t>(n_));
+  for (int s = 0; s < n_; ++s) shards_.push_back(std::make_unique<EventQueue>());
+  mail_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+}
+
+void ShardedEventQueue::ScheduleOn(int dst, Cycle when, std::function<void()> fn) {
+  assert(dst >= 0 && dst < n_);
+  int src = tls_current_shard;
+  if (src < 0 || src == dst) {
+    // Setup code (no window running) or an intra-shard schedule: straight
+    // into the destination queue, ordinary FIFO semantics.
+    shard(dst).ScheduleAt(when, std::move(fn));
+    return;
+  }
+  // Cross-shard: the conservative promise. The window ends at
+  // src.now() + lookahead - 1 at the latest, so this lands strictly after
+  // the barrier and never inside the currently executing window.
+  assert(when >= shard(src).now() + lookahead_ &&
+         "cross-shard event violates the lookahead window");
+  box(src, dst).msgs.push_back(Msg{when, shard(src).now(), std::move(fn)});
+}
+
+Cycle ShardedEventQueue::next_event_cycle() const {
+  Cycle next = kNeverCycle;
+  for (int s = 0; s < n_; ++s) next = std::min(next, shard(s).next_event_cycle());
+  for (const Mailbox& m : mail_) {
+    for (const Msg& msg : m.msgs) next = std::min(next, msg.when);
+  }
+  return next;
+}
+
+Cycle ShardedEventQueue::now() const {
+  Cycle t = 0;
+  for (int s = 0; s < n_; ++s) t = std::max(t, shard(s).now());
+  return t;
+}
+
+std::size_t ShardedEventQueue::pending() const {
+  std::size_t p = 0;
+  for (const Mailbox& m : mail_) p += m.msgs.size();
+  for (int s = 0; s < n_; ++s) p += shard(s).pending();
+  return p;
+}
+
+std::uint64_t ShardedEventQueue::executed() const {
+  std::uint64_t e = 0;
+  for (int s = 0; s < n_; ++s) e += shard(s).executed();
+  return e;
+}
+
+void ShardedEventQueue::RunAssigned(int thread_idx, int num_threads, Cycle wend) {
+  for (int s = thread_idx; s < n_; s += num_threads) {
+    tls_current_shard = s;
+    shard(s).RunUntilEmpty(wend);
+    tls_current_shard = -1;
+  }
+}
+
+void ShardedEventQueue::DrainMailboxes() {
+  // Canonical merge order, per destination: (post cycle, source shard,
+  // per-source FIFO). The gather below concatenates sources in ascending
+  // order, each already in FIFO order, so a *stable* sort on the post cycle
+  // alone realizes the full key. Insertion order into the destination queue
+  // then fixes same-cycle execution order via the calendar queue's FIFO
+  // contract — identical for every thread count by construction.
+  for (int dst = 0; dst < n_; ++dst) {
+    merge_scratch_.clear();
+    for (int src = 0; src < n_; ++src) {
+      if (src == dst) continue;
+      Mailbox& m = box(src, dst);
+      for (Msg& msg : m.msgs) merge_scratch_.push_back(std::move(msg));
+      m.msgs.clear();
+    }
+    if (merge_scratch_.empty()) continue;
+    std::stable_sort(
+        merge_scratch_.begin(), merge_scratch_.end(),
+        [](const Msg& a, const Msg& b) { return a.posted < b.posted; });
+    for (Msg& msg : merge_scratch_) {
+      shard(dst).ScheduleAt(msg.when, std::move(msg.fn));
+    }
+  }
+}
+
+std::uint64_t ShardedEventQueue::RunUntilEmpty(Cycle limit, int num_threads) {
+  if (n_ == 1) {
+    // One shard has no cross-shard traffic: degenerate to the plain queue,
+    // including its exact unbounded-run clock semantics.
+    return shard(0).RunUntilEmpty(limit);
+  }
+  // More workers than shards can't help (a shard is a unit of work), and
+  // more workers than hardware threads only adds barrier thrash — results
+  // are identical for every t by construction, so clamping is free.
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) num_threads = std::min(num_threads, static_cast<int>(hw));
+  int t = std::clamp(num_threads, 1, n_);
+  std::uint64_t before = executed();
+
+  auto plan_window = [&](Cycle* wend) -> bool {
+    // Mailboxes are empty here (drained at every barrier), so the earliest
+    // pending cycle is the min over shard queues.
+    Cycle next = kNeverCycle;
+    for (int s = 0; s < n_; ++s) next = std::min(next, shard(s).next_event_cycle());
+    if (next == kNeverCycle || next > limit) {
+      // Nothing left inside the horizon. Honor the per-shard clock
+      // contract: a bounded run leaves every shard at now() == limit even
+      // when it drained early or never held an event (the "idle quadrant"
+      // case) — otherwise a later cross-shard post computed off the stale
+      // clock could land inside a window already executed elsewhere.
+      if (limit != kNeverCycle) {
+        for (int s = 0; s < n_; ++s) shard(s).RunUntilEmpty(limit);
+      }
+      return false;
+    }
+    // The window skips straight to the next event (empty windows are never
+    // barriered) and spans exactly the lookahead: any cross-shard post from
+    // cycle p >= next lands at p + lookahead > next + lookahead - 1.
+    Cycle w = next + (lookahead_ - 1);
+    if (w < next) w = kNeverCycle;  // overflow clamp
+    *wend = std::min(w, limit);
+    return true;
+  };
+
+  if (t <= 1) {
+    Cycle wend = 0;
+    while (plan_window(&wend)) {
+      RunAssigned(0, 1, wend);
+      DrainMailboxes();
+    }
+    return executed() - before;
+  }
+
+  round_.store(0, std::memory_order_relaxed);
+  arrived_.store(0, std::memory_order_relaxed);
+  done_ = false;
+
+  auto worker = [this, t](int thread_idx) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      while (round_.load(std::memory_order_acquire) == seen) {
+        std::this_thread::yield();
+      }
+      seen = round_.load(std::memory_order_acquire);
+      if (done_) return;
+      RunAssigned(thread_idx, t, window_end_);
+      arrived_.fetch_add(1, std::memory_order_release);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(t - 1));
+  for (int i = 1; i < t; ++i) pool.emplace_back(worker, i);
+
+  Cycle wend = 0;
+  while (plan_window(&wend)) {
+    window_end_ = wend;
+    round_.fetch_add(1, std::memory_order_release);
+    RunAssigned(0, t, wend);  // the caller doubles as worker 0
+    while (arrived_.load(std::memory_order_acquire) != t - 1) {
+      std::this_thread::yield();
+    }
+    arrived_.store(0, std::memory_order_relaxed);
+    DrainMailboxes();
+  }
+  done_ = true;
+  round_.fetch_add(1, std::memory_order_release);
+  for (std::thread& th : pool) th.join();
+  return executed() - before;
+}
+
+}  // namespace ndc::sim

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace ndc::sim {
+
+/// Conservative-window parallel discrete-event execution over N EventQueue
+/// shards (DESIGN.md §14).
+///
+/// The machine is partitioned into shards; every event belongs to exactly
+/// one shard and may freely schedule further events onto its own shard at
+/// any future cycle. Events destined for *another* shard must honor the
+/// lookahead `L`: an event executing at cycle `t` may only post a
+/// cross-shard event for cycle `t + L` or later. Under that promise the
+/// window `[w, w + L - 1]` can be executed by all shards concurrently —
+/// no cross-shard event posted inside the window can land inside it.
+///
+/// Cross-shard events travel through per-(src,dst) mailboxes. During a
+/// window each source shard appends only to its own rows (no sharing); at
+/// the window barrier the mailboxes are drained into the destination
+/// queues in a canonical merge order — per destination, messages sort by
+/// (post cycle, source shard, per-source FIFO). Combined with the
+/// calendar queue's same-cycle FIFO contract (DESIGN.md §10) this makes
+/// the full execution order a pure function of the event content:
+/// bit-identical for any thread count, including 1.
+///
+/// Shard-to-thread assignment is static (`shard s` runs on
+/// `thread s % T`), so the thread count changes only which OS thread
+/// executes a shard, never the order of events within or across shards.
+class ShardedEventQueue {
+ public:
+  /// `lookahead` is the minimum cross-shard delay the model guarantees
+  /// (for the NoC: router pipeline depth + 1 cycle of serialization).
+  ShardedEventQueue(int num_shards, Cycle lookahead);
+
+  ShardedEventQueue(const ShardedEventQueue&) = delete;
+  ShardedEventQueue& operator=(const ShardedEventQueue&) = delete;
+
+  int num_shards() const { return n_; }
+  Cycle lookahead() const { return lookahead_; }
+
+  EventQueue& shard(int s) { return *shards_[static_cast<std::size_t>(s)]; }
+  const EventQueue& shard(int s) const { return *shards_[static_cast<std::size_t>(s)]; }
+
+  /// Index of the shard executing on this thread, or -1 outside a window
+  /// phase (setup code, the merge phase, other threads). Thread-local:
+  /// concurrently running machines do not interfere.
+  static int CurrentShard();
+
+  /// The shard queue of the calling thread's window phase. Must only be
+  /// called from inside an executing event.
+  EventQueue& current() {
+    int s = CurrentShard();
+    assert(s >= 0 && "current() called outside a shard window phase");
+    return shard(s);
+  }
+
+  /// Schedules `fn` at absolute cycle `when` on shard `dst`.
+  ///  - same shard (or outside a window phase): direct ScheduleAt;
+  ///  - cross-shard from inside a window: mailbox post, requires
+  ///    `when >= src.now() + lookahead()`.
+  void ScheduleOn(int dst, Cycle when, std::function<void()> fn);
+
+  /// Executes windows until every shard queue and mailbox is empty or the
+  /// next event lies beyond `limit` (events at exactly `limit` still run).
+  /// Returns the number of events executed. Honors the EventQueue clock
+  /// contract per shard: after a bounded run every shard's now() == limit,
+  /// even for shards that drained early or never had an event — a drained
+  /// shard that kept an old clock would let later cross-shard posts violate
+  /// the lookahead window.
+  ///
+  /// `num_threads` <= 1 runs every window inline on the calling thread
+  /// (no worker threads, same canonical order). Thread counts above
+  /// num_shards() are clamped.
+  std::uint64_t RunUntilEmpty(Cycle limit = kNeverCycle, int num_threads = 1);
+
+  /// Max over shard clocks. After a bounded run: == limit. After an
+  /// unbounded multi-shard run every clock rests at the last window
+  /// boundary (>= the last executed event's cycle); a single-shard queue
+  /// keeps the plain EventQueue semantics (last executed event).
+  Cycle now() const;
+  /// Earliest pending event cycle across shards and mailboxes
+  /// (kNeverCycle when idle).
+  Cycle next_event_cycle() const;
+  std::size_t pending() const;       ///< shard queues + undelivered mailboxes
+  std::uint64_t executed() const;    ///< sum over shards
+
+ private:
+  struct Msg {
+    Cycle when;    ///< delivery cycle on the destination shard
+    Cycle posted;  ///< source shard clock at post time (merge sort key)
+    std::function<void()> fn;
+  };
+  /// One (src,dst) channel. Only the src shard's thread appends during a
+  /// window; only the merge phase (single-threaded, post-barrier) drains.
+  /// Padded so two sources never share a cache line.
+  struct alignas(64) Mailbox {
+    std::vector<Msg> msgs;
+  };
+
+  Mailbox& box(int src, int dst) {
+    return mail_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(dst)];
+  }
+  const Mailbox& box(int src, int dst) const {
+    return mail_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(dst)];
+  }
+
+  /// Runs this thread's statically assigned shards up to `wend`.
+  void RunAssigned(int thread_idx, int num_threads, Cycle wend);
+  /// Canonical merge: delivers every mailbox message into its destination
+  /// queue ordered by (posted, src, per-src FIFO). Single-threaded.
+  void DrainMailboxes();
+
+  int n_;
+  Cycle lookahead_;
+  std::vector<std::unique_ptr<EventQueue>> shards_;
+  std::vector<Mailbox> mail_;  ///< n*n, row-major [src][dst]
+
+  // Window barrier (only live inside RunUntilEmpty with num_threads > 1).
+  std::atomic<std::uint64_t> round_{0};
+  std::atomic<int> arrived_{0};
+  Cycle window_end_ = 0;
+  bool done_ = false;
+
+  std::vector<Msg> merge_scratch_;
+};
+
+}  // namespace ndc::sim

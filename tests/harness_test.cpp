@@ -6,6 +6,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 
 #include "harness/cache.hpp"
@@ -71,6 +75,15 @@ TEST(CellSpec, KeyIsStableAndSensitiveToSemanticFields) {
   b = a;
   b.seed = 7;
   EXPECT_NE(a.Key(), b.Key());
+
+  // Sharded cells (a different same-cycle tie-break schedule) must never
+  // share an entry with sequential ones, and the default must keep every
+  // historical key: sim_threads is hashed only when != 1.
+  b = a;
+  b.sim_threads = 4;
+  EXPECT_NE(a.Key(), b.Key());
+  b.sim_threads = 1;
+  EXPECT_EQ(a.Key(), b.Key());
 }
 
 // The variant display label is deliberately not hashed: two figures probing
@@ -289,6 +302,81 @@ TEST(Figures, ParallelRunRendersTheSameTableAsSerial) {
 TEST(Figures, UnknownFigureNameFails) {
   FigureOptions opt;
   EXPECT_EQ(RunFigure("not-a-figure", opt), 2);
+}
+
+// Reads every regular file under `dir` into a name -> contents map.
+std::map<std::string, std::string> SlurpDir(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    std::ifstream f(e.path());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    out[e.path().filename().string()] = ss.str();
+  }
+  return out;
+}
+
+// --classify/--export-obs under --jobs=N: cells re-simulate in parallel but
+// their classification JSONL stream (stderr) and per-cell summary files are
+// buffered and emitted in canonical cell order — byte-identical for any job
+// count, run after run.
+TEST(Figures, ClassifyExportIsByteStableAcrossJobs) {
+  FigureOptions opt;
+  opt.scale = workloads::Scale::kTest;
+  opt.only = "md";
+  opt.use_cache = false;
+  opt.classify_window = kDefaultClassifyWindow;
+
+  auto run = [&](int jobs, const char* tag) {
+    std::string dir = UniqueCacheDir(tag);
+    std::filesystem::remove_all(dir);
+    opt.jobs = jobs;
+    opt.export_obs = dir;
+    testing::internal::CaptureStdout();
+    testing::internal::CaptureStderr();
+    int rc = RunFigure("fig04", opt);
+    std::string out = testing::internal::GetCapturedStdout();
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(rc, 0);
+    return std::make_tuple(out, err, SlurpDir(dir));
+  };
+
+  auto [out1, err1, files1] = run(1, "obs-j1");
+  auto [out8a, err8a, files8a] = run(8, "obs-j8a");
+  auto [out8b, err8b, files8b] = run(8, "obs-j8b");
+
+  EXPECT_FALSE(err1.empty());
+  EXPECT_FALSE(files1.empty());
+  EXPECT_EQ(out1, out8a);
+  EXPECT_EQ(err1, err8a) << "classification stream must not depend on --jobs";
+  EXPECT_EQ(files1, files8a) << "obs summaries must not depend on --jobs";
+  EXPECT_EQ(err8a, err8b) << "double run at --jobs=8 must be byte-identical";
+  EXPECT_EQ(files8a, files8b);
+}
+
+// A figure regenerated under the sharded engine renders the same table for
+// any parallel thread count (the machine-level 2 == 4 == 8 bit-identity,
+// surfaced end-to-end through sweep, cache keys, and rendering).
+TEST(Figures, ShardedFigureOutputIdenticalAcrossThreadCounts) {
+  FigureOptions opt;
+  opt.scale = workloads::Scale::kTest;
+  opt.only = "md";
+  opt.use_cache = false;
+
+  testing::internal::CaptureStdout();
+  opt.sim_threads = 2;
+  ASSERT_EQ(RunFigure("fig04", opt), 0);
+  std::string two = testing::internal::GetCapturedStdout();
+
+  testing::internal::CaptureStdout();
+  opt.sim_threads = 8;
+  opt.jobs = 4;  // sweep-level and simulation-level parallelism compose
+  ASSERT_EQ(RunFigure("fig04", opt), 0);
+  std::string eight = testing::internal::GetCapturedStdout();
+
+  EXPECT_FALSE(two.empty());
+  EXPECT_EQ(two, eight);
 }
 
 }  // namespace

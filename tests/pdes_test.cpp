@@ -1,0 +1,278 @@
+// Conservative-window PDES (sim/sharded_queue): canonical cross-shard merge
+// order, bit-reproducibility across thread counts, sharded-vs-single-queue
+// execution equivalence, the idle-quadrant clock contract, and far-horizon
+// scheduling across window barriers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/sharded_queue.hpp"
+
+namespace ndc::sim {
+namespace {
+
+constexpr Cycle kLookahead = 4;  // the NoC minimum: router pipeline 3 + 1
+
+/// One execution-log entry, recorded into the executing shard's private log
+/// so multi-threaded runs record race-free.
+struct LogEntry {
+  Cycle cycle;
+  std::uint64_t id;
+  bool operator==(const LogEntry& o) const { return cycle == o.cycle && id == o.id; }
+  bool operator<(const LogEntry& o) const {
+    return std::tie(cycle, id) < std::tie(o.cycle, o.id);
+  }
+};
+
+/// splitmix64: each event's behavior is a pure function of its id, so the
+/// event tree is identical no matter which order ties execute in.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4568bull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// A self-expanding randomized workload over `n` shards: every event may
+/// spawn intra-shard children (delay 0 = reentrant same-cycle, up to 9000 =
+/// beyond the 4096-cycle wheel) and cross-shard children at >= lookahead.
+/// All parameters derive from the event id via Mix(), never from execution
+/// order.
+struct TreeHarness {
+  ShardedEventQueue* sq;
+  std::vector<std::vector<LogEntry>> logs;  // per shard
+
+  explicit TreeHarness(ShardedEventQueue* q) : sq(q), logs(q->num_shards()) {}
+
+  void Fire(int shard, std::uint64_t id, int depth) {
+    logs[static_cast<std::size_t>(shard)].push_back(
+        LogEntry{sq->shard(shard).now(), id});
+    if (depth >= 5) return;
+    std::uint64_t h = Mix(id);
+    int kids = static_cast<int>(h % 3);  // 0..2 children
+    for (int k = 0; k < kids; ++k) {
+      std::uint64_t kid = Mix(id * 8 + static_cast<std::uint64_t>(k) + 1);
+      bool cross = (kid & 7) == 0;
+      Cycle now = sq->shard(shard).now();
+      if (cross) {
+        int dst = static_cast<int>((kid >> 3) % static_cast<std::uint64_t>(
+                                                    sq->num_shards()));
+        Cycle when = now + kLookahead + (kid >> 6) % 50;
+        sq->ScheduleOn(dst, when,
+                       [this, dst, kid, depth] { Fire(dst, kid, depth + 1); });
+      } else {
+        Cycle delay = (kid >> 3) % 8 == 0 ? (kid >> 6) % 9000  // far horizon
+                                          : (kid >> 6) % 40;   // incl. 0
+        sq->shard(shard).ScheduleAt(
+            now + delay, [this, shard, kid, depth] { Fire(shard, kid, depth + 1); });
+      }
+    }
+  }
+
+  void Seed(std::uint64_t seed, int roots) {
+    for (int r = 0; r < roots; ++r) {
+      std::uint64_t id = Mix(seed + static_cast<std::uint64_t>(r));
+      int shard = r % sq->num_shards();
+      Cycle when = id % 64;
+      sq->ScheduleOn(shard, when, [this, shard, id] { Fire(shard, id, 0); });
+    }
+  }
+};
+
+std::vector<std::vector<LogEntry>> RunTree(int shards, int threads,
+                                           std::uint64_t seed) {
+  ShardedEventQueue sq(shards, kLookahead);
+  TreeHarness h(&sq);
+  h.Seed(seed, 4 * shards);
+  sq.RunUntilEmpty(kNeverCycle, threads);
+  EXPECT_EQ(sq.pending(), 0u);
+  return std::move(h.logs);
+}
+
+TEST(ShardedQueue, BitIdenticalAcrossThreadCounts) {
+  for (std::uint64_t seed : {1ull, 42ull, 1234567ull}) {
+    auto one = RunTree(4, 1, seed);
+    auto two = RunTree(4, 2, seed);
+    auto four = RunTree(4, 4, seed);
+    auto eight = RunTree(4, 8, seed);  // clamped to num_shards
+    // Exact per-shard logs — order-sensitive, so any tie resolved
+    // differently under a different thread count would fail here.
+    EXPECT_EQ(one, two) << "seed " << seed;
+    EXPECT_EQ(one, four) << "seed " << seed;
+    EXPECT_EQ(one, eight) << "seed " << seed;
+  }
+}
+
+TEST(ShardedQueue, MatchesSingleQueueExecution) {
+  // The same event tree simulated on one flat EventQueue (virtual shards
+  // tagged into the log) must execute the same multiset of (cycle, id) per
+  // shard: sharding may permute same-cycle ties but never an event's cycle,
+  // its shard, or the set of events that fire.
+  for (std::uint64_t seed : {7ull, 99ull}) {
+    constexpr int kShards = 4;
+    EventQueue flat;
+    std::vector<std::vector<LogEntry>> flat_logs(kShards);
+    std::function<void(int, std::uint64_t, int)> fire = [&](int shard,
+                                                            std::uint64_t id,
+                                                            int depth) {
+      flat_logs[static_cast<std::size_t>(shard)].push_back(
+          LogEntry{flat.now(), id});
+      if (depth >= 5) return;
+      std::uint64_t h = Mix(id);
+      int kids = static_cast<int>(h % 3);
+      for (int k = 0; k < kids; ++k) {
+        std::uint64_t kid = Mix(id * 8 + static_cast<std::uint64_t>(k) + 1);
+        bool cross = (kid & 7) == 0;
+        if (cross) {
+          int dst = static_cast<int>((kid >> 3) % kShards);
+          Cycle when = flat.now() + kLookahead + (kid >> 6) % 50;
+          flat.ScheduleAt(when, [&fire, dst, kid, depth] { fire(dst, kid, depth + 1); });
+        } else {
+          Cycle delay = (kid >> 3) % 8 == 0 ? (kid >> 6) % 9000 : (kid >> 6) % 40;
+          flat.ScheduleAt(flat.now() + delay,
+                          [&fire, shard, kid, depth] { fire(shard, kid, depth + 1); });
+        }
+      }
+    };
+    for (int r = 0; r < 4 * kShards; ++r) {
+      std::uint64_t id = Mix(seed + static_cast<std::uint64_t>(r));
+      int shard = r % kShards;
+      flat.ScheduleAt(id % 64, [&fire, shard, id] { fire(shard, id, 0); });
+    }
+    std::uint64_t flat_count = flat.RunUntilEmpty();
+
+    auto sharded = RunTree(kShards, 3, seed);
+    std::uint64_t sharded_count = 0;
+    for (int s = 0; s < kShards; ++s) {
+      sharded_count += sharded[static_cast<std::size_t>(s)].size();
+      std::sort(flat_logs[static_cast<std::size_t>(s)].begin(),
+                flat_logs[static_cast<std::size_t>(s)].end());
+      std::sort(sharded[static_cast<std::size_t>(s)].begin(),
+                sharded[static_cast<std::size_t>(s)].end());
+      EXPECT_EQ(flat_logs[static_cast<std::size_t>(s)],
+                sharded[static_cast<std::size_t>(s)])
+          << "seed " << seed << " shard " << s;
+    }
+    EXPECT_EQ(flat_count, sharded_count) << "seed " << seed;
+  }
+}
+
+TEST(ShardedQueue, CanonicalCrossShardMergeOrder) {
+  // Three sources post to shard 0 for the same delivery cycle. Canonical
+  // order: post cycle ascending, then source shard ascending, then per-src
+  // FIFO — and locally scheduled same-cycle events (inserted during setup)
+  // keep their earlier FIFO position.
+  ShardedEventQueue sq(4, kLookahead);
+  std::vector<int> order;
+  constexpr Cycle kWhen = 40;
+  sq.shard(0).ScheduleAt(kWhen, [&] { order.push_back(0); });  // local first
+  // Source shards emit their posts while executing cycle-10/11 events.
+  sq.shard(2).ScheduleAt(10, [&] {
+    sq.ScheduleOn(0, kWhen, [&] { order.push_back(2); });  // posted 10, src 2
+    sq.ScheduleOn(0, kWhen, [&] { order.push_back(3); });  // posted 10, src 2, later
+  });
+  sq.shard(1).ScheduleAt(10, [&] {
+    sq.ScheduleOn(0, kWhen, [&] { order.push_back(1); });  // posted 10, src 1
+  });
+  sq.shard(3).ScheduleAt(9, [&] {
+    sq.shard(3).ScheduleAt(11, [&] {
+      sq.ScheduleOn(0, kWhen, [&] { order.push_back(4); });  // posted 11, src 3
+    });
+  });
+  sq.RunUntilEmpty(kNeverCycle, 4);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ShardedQueue, IdleShardClockAdvancesToWindowBoundary) {
+  // The RunUntilEmpty(limit) clock contract under sharding: a shard that
+  // drains early — or never holds an event at all — still ends at
+  // now() == limit, so later cross-shard sends computed off its clock can
+  // never violate lookahead.
+  ShardedEventQueue sq(4, kLookahead);
+  int fired = 0;
+  sq.shard(0).ScheduleAt(50, [&] {
+    ++fired;
+    // Post into a so-far-idle quadrant, off the live shard's clock.
+    sq.ScheduleOn(3, sq.shard(0).now() + kLookahead, [&] {
+      ++fired;
+      EXPECT_EQ(sq.shard(3).now(), 54u);
+    });
+  });
+  sq.RunUntilEmpty(1000, 2);
+  EXPECT_EQ(fired, 2);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(sq.shard(s).now(), 1000u) << "shard " << s;
+  }
+  // A limit in the past never moves a clock backwards.
+  sq.RunUntilEmpty(10, 2);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(sq.shard(s).now(), 1000u);
+}
+
+TEST(ShardedQueue, BoundedRunStopsAtLimitAndResumes) {
+  ShardedEventQueue sq(2, kLookahead);
+  std::vector<Cycle> fired;
+  for (Cycle c : {10u, 100u, 200u, 300u}) {
+    sq.shard(0).ScheduleAt(c, [&fired, &sq] { fired.push_back(sq.shard(0).now()); });
+  }
+  std::uint64_t n1 = sq.RunUntilEmpty(100, 2);  // events at exactly limit run
+  EXPECT_EQ(n1, 2u);
+  EXPECT_EQ(fired, (std::vector<Cycle>{10, 100}));
+  EXPECT_EQ(sq.shard(1).now(), 100u);
+  std::uint64_t n2 = sq.RunUntilEmpty(kNeverCycle, 2);
+  EXPECT_EQ(n2, 2u);
+  EXPECT_EQ(fired, (std::vector<Cycle>{10, 100, 200, 300}));
+  EXPECT_EQ(sq.executed(), 4u);
+}
+
+TEST(ShardedQueue, FarHorizonCrossShardDelivery) {
+  // Far beyond the 4096-cycle wheel and across many empty windows: the
+  // empty-window skip must jump straight to the next event, and mailbox
+  // delivery of a far-future cycle must land in the overflow level intact.
+  ShardedEventQueue sq(4, kLookahead);
+  std::vector<std::uint64_t> hits;
+  sq.shard(1).ScheduleAt(3, [&] {
+    sq.ScheduleOn(2, 1'000'000, [&] {
+      hits.push_back(sq.shard(2).now());
+      sq.ScheduleOn(0, sq.shard(2).now() + 20'000, [&] {
+        hits.push_back(sq.shard(0).now());
+      });
+    });
+  });
+  sq.RunUntilEmpty(kNeverCycle, 4);
+  EXPECT_EQ(hits, (std::vector<std::uint64_t>{1'000'000, 1'020'000}));
+  EXPECT_EQ(sq.executed(), 3u);
+  EXPECT_EQ(sq.now(), 1'020'000u + kLookahead - 1);
+}
+
+TEST(ShardedQueue, ReentrantSameCycleSchedulingInsideWindow) {
+  // An event scheduling at its own cycle runs in the same window, after
+  // every event already queued for that cycle (the §10 FIFO contract).
+  ShardedEventQueue sq(2, kLookahead);
+  std::vector<int> order;
+  sq.shard(0).ScheduleAt(5, [&] {
+    order.push_back(1);
+    sq.shard(0).ScheduleAt(5, [&] { order.push_back(3); });
+  });
+  sq.shard(0).ScheduleAt(5, [&] { order.push_back(2); });
+  sq.RunUntilEmpty(kNeverCycle, 2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ShardedQueue, SingleShardDegeneratesToPlainQueue) {
+  ShardedEventQueue sq(1, kLookahead);
+  std::vector<int> order;
+  sq.ScheduleOn(0, 10, [&] { order.push_back(2); });
+  sq.ScheduleOn(0, 5, [&] { order.push_back(1); });
+  sq.RunUntilEmpty(kNeverCycle, 8);  // thread count clamps to 1
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sq.now(), 10u);
+}
+
+}  // namespace
+}  // namespace ndc::sim
